@@ -1,0 +1,96 @@
+// Ablation over the modeling abstraction level -- the paper's speed
+// argument quantified: cycle-accurate kernel simulation vs the
+// transaction-level (function-call) model, same workload shape, same
+// power FSM. Reports wall-clock speedup and the energy-per-cycle gap.
+
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "power/report.hpp"
+#include "tlm/tlm.hpp"
+
+namespace {
+
+using namespace ahbp;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablation: abstraction level (cycle-accurate vs TLM) ===\n");
+  constexpr std::uint64_t kCycles = 100000;  // 1 ms of bus time @ 100 MHz
+
+  // --- cycle-accurate ------------------------------------------------------
+  double ca_ms = 0.0, ca_energy = 0.0;
+  std::uint64_t ca_cycles = 0, ca_transfers = 0;
+  {
+    const auto t0 = Clock::now();
+    bench::PaperSystem sys;
+    sys.run(sim::SimTime::us(1000));
+    ca_ms = ms_since(t0);
+    ca_energy = sys.est->total_energy();
+    ca_cycles = sys.est->fsm().cycles();
+    ca_transfers = sys.m1.stats().writes + sys.m1.stats().reads +
+                   sys.m2.stats().writes + sys.m2.stats().reads;
+  }
+
+  // --- transaction-level ----------------------------------------------------
+  double tlm_ms = 0.0, tlm_energy = 0.0;
+  std::uint64_t tlm_cycles = 0, tlm_transfers = 0;
+  {
+    const auto t0 = Clock::now();
+    tlm::TlmBus bus(tlm::TlmBus::Config{.n_masters = 3});
+    tlm::TlmMemory m1, m2, m3;
+    bus.map(m1, 0x0000, 0x1000);
+    bus.map(m2, 0x1000, 0x1000);
+    bus.map(m3, 0x2000, 0x1000);
+    tlm::TlmTrafficRunner r1(bus, 1,
+                             {.addr_base = 0x0000, .addr_range = 0x1000, .seed = 101});
+    tlm::TlmTrafficRunner r2(bus, 2,
+                             {.addr_base = 0x1000, .addr_range = 0x1000, .seed = 202});
+    // Interleave tenures in cycle-sized slices, mimicking arbitration.
+    std::uint64_t next = 2000;
+    while (bus.cycles() < kCycles) {
+      r1.run_until(std::min<std::uint64_t>(next, kCycles));
+      r2.run_until(std::min<std::uint64_t>(next + 2000, kCycles));
+      next += 4000;
+    }
+    tlm_ms = ms_since(t0);
+    tlm_energy = bus.total_energy();
+    tlm_cycles = bus.cycles();
+    tlm_transfers = bus.transfers();
+  }
+
+  const double ca_epc = ca_energy / static_cast<double>(ca_cycles);
+  const double tlm_epc = tlm_energy / static_cast<double>(tlm_cycles);
+
+  std::printf("%-18s %12s %12s %12s %14s\n", "model", "wall time", "cycles",
+              "transfers", "energy/cycle");
+  std::printf("%-18s %9.1f ms %12llu %12llu %14s\n", "cycle-accurate", ca_ms,
+              static_cast<unsigned long long>(ca_cycles),
+              static_cast<unsigned long long>(ca_transfers),
+              power::format_energy(ca_epc).c_str());
+  std::printf("%-18s %9.1f ms %12llu %12llu %14s\n", "transaction-level", tlm_ms,
+              static_cast<unsigned long long>(tlm_cycles),
+              static_cast<unsigned long long>(tlm_transfers),
+              power::format_energy(tlm_epc).c_str());
+  std::printf("\nspeedup: %.0fx   energy/cycle ratio (tlm/ca): %.2f\n",
+              ca_ms / tlm_ms, tlm_epc / ca_epc);
+  std::puts("\nthe paper's abstraction ladder, quantified: each level up trades");
+  std::puts("signal-accurate activity for orders-of-magnitude simulation speed");
+  std::puts("while the instruction-level energy stays in the same band.");
+
+  const bool ok = ca_ms / tlm_ms > 5.0 && tlm_epc / ca_epc > 0.3 &&
+                  tlm_epc / ca_epc < 3.0;
+  if (!ok) {
+    std::puts("ABSTRACTION CHECK FAILED");
+    return 1;
+  }
+  std::puts("ABSTRACTION CHECK PASSED.");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Architecture-exploration ablation: shared AHB vs multi-layer
+// interconnect -- the kind of early topology decision the paper's
+// methodology exists to inform. Same workload (two masters, two slaves,
+// each master hammering its own slave -> no intrinsic contention, then a
+// shared-slave variant), measured for completion time and fabric energy.
+
+#include <cstdio>
+
+#include "power/report.hpp"
+#include "tlm/multilayer.hpp"
+#include "tlm/tlm.hpp"
+
+namespace {
+
+using namespace ahbp;
+
+struct Result {
+  std::uint64_t cycles = 0;
+  double energy = 0.0;
+  std::uint64_t contention = 0;
+};
+
+constexpr unsigned kTransfersPerMaster = 20000;
+
+/// Shared bus: the two masters' transfers serialize on one fabric.
+Result run_shared(bool same_slave) {
+  tlm::TlmBus bus(tlm::TlmBus::Config{.n_masters = 2});
+  tlm::TlmMemory s0, s1;
+  bus.map(s0, 0x0000, 0x1000);
+  bus.map(s1, 0x1000, 0x1000);
+  std::mt19937_64 rng(7);
+  for (unsigned i = 0; i < kTransfersPerMaster; ++i) {
+    for (unsigned m = 0; m < 2; ++m) {
+      const std::uint32_t base = same_slave ? 0x0000 : 0x1000 * m;
+      const std::uint32_t addr = base + 4 * (rng() % 256);
+      bus.write(m, addr, static_cast<std::uint32_t>(rng()));
+    }
+  }
+  return Result{bus.cycles(), bus.total_energy(), 0};
+}
+
+/// Multi-layer: each master has its own layer; different-slave traffic
+/// runs fully parallel.
+Result run_multilayer(bool same_slave) {
+  tlm::MultilayerBus bus(tlm::MultilayerBus::Config{.n_masters = 2});
+  tlm::TlmMemory s0, s1;
+  bus.map(s0, 0x0000, 0x1000);
+  bus.map(s1, 0x1000, 0x1000);
+  std::mt19937_64 rng(7);
+  for (unsigned i = 0; i < kTransfersPerMaster; ++i) {
+    for (unsigned m = 0; m < 2; ++m) {
+      const std::uint32_t base = same_slave ? 0x0000 : 0x1000 * m;
+      const std::uint32_t addr = base + 4 * (rng() % 256);
+      bus.write(m, addr, static_cast<std::uint32_t>(rng()));
+    }
+  }
+  return Result{bus.cycles(), bus.total_energy(), bus.contention_cycles()};
+}
+
+void report(const char* workload, const Result& shared, const Result& multi) {
+  std::printf("--- %s ---\n", workload);
+  std::printf("%-14s %12s %14s %16s\n", "topology", "cycles", "fabric energy",
+              "energy/transfer");
+  const double n = 2.0 * kTransfersPerMaster;
+  std::printf("%-14s %12llu %14s %16s\n", "shared AHB",
+              static_cast<unsigned long long>(shared.cycles),
+              power::format_energy(shared.energy).c_str(),
+              power::format_energy(shared.energy / n).c_str());
+  std::printf("%-14s %12llu %14s %16s   (contention %llu cyc)\n", "multi-layer",
+              static_cast<unsigned long long>(multi.cycles),
+              power::format_energy(multi.energy).c_str(),
+              power::format_energy(multi.energy / n).c_str(),
+              static_cast<unsigned long long>(multi.contention));
+  std::printf("speedup %.2fx, energy ratio %.2fx\n\n",
+              static_cast<double>(shared.cycles) / multi.cycles,
+              multi.energy / shared.energy);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Topology exploration: shared AHB vs multi-layer (TLM) ===\n");
+
+  const Result sh_disjoint = run_shared(false);
+  const Result ml_disjoint = run_multilayer(false);
+  report("disjoint slaves (no intrinsic contention)", sh_disjoint, ml_disjoint);
+
+  const Result sh_shared = run_shared(true);
+  const Result ml_shared = run_multilayer(true);
+  report("both masters hit one slave (full contention)", sh_shared, ml_shared);
+
+  std::puts("reading the tables:");
+  std::puts(" * disjoint traffic: the multi-layer fabric nearly halves the");
+  std::puts("   completion time -- the parallel layers pay for themselves;");
+  std::puts(" * shared-slave traffic: the extra layers buy nothing (the slave");
+  std::puts("   serializes anyway) while the duplicated fabric still burns");
+  std::puts("   more energy per transfer -- topology must match the traffic.");
+
+  const bool ok =
+      static_cast<double>(sh_disjoint.cycles) / ml_disjoint.cycles > 1.6 &&
+      static_cast<double>(sh_shared.cycles) / ml_shared.cycles < 1.3 &&
+      ml_shared.contention > 0;
+  if (!ok) {
+    std::puts("TOPOLOGY CHECK FAILED");
+    return 1;
+  }
+  std::puts("TOPOLOGY CHECK PASSED.");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: power-trace window size vs fidelity (design choice behind
+// Figures 3-5). Small windows resolve individual bus tenures but are
+// noisy; large windows converge to the average power. Sweeps the window
+// and reports peak/mean ratio and point counts for the same 4 us run.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "power/report.hpp"
+
+int main() {
+  using namespace ahbp;
+
+  std::puts("=== Ablation: trace window size (Figs. 3-5 design choice) ===\n");
+  std::printf("%12s %10s %14s %14s %12s\n", "window", "points", "mean power",
+              "peak power", "peak/mean");
+
+  for (const auto window : {sim::SimTime::ns(20), sim::SimTime::ns(50),
+                            sim::SimTime::ns(100), sim::SimTime::ns(500),
+                            sim::SimTime::us(1), sim::SimTime::us(4)}) {
+    bench::PaperSystem sys({.trace_window = window});
+    sys.run(sim::SimTime::us(4));
+    sys.est->flush_trace();
+    const power::PowerTrace& tr = *sys.est->trace();
+    double peak = 0.0, mean = 0.0;
+    for (const auto& p : tr.points()) {
+      const double w = tr.power_total(p);
+      peak = std::max(peak, w);
+      mean += w;
+    }
+    mean /= static_cast<double>(tr.points().size());
+    std::printf("%12s %10zu %14s %14s %11.2fx\n", window.to_string().c_str(),
+                tr.points().size(), power::format_power(mean).c_str(),
+                power::format_power(peak).c_str(), peak / mean);
+  }
+
+  std::puts("\nsmaller windows expose burst power (peak >> mean); the 100 ns");
+  std::puts("window used for the figure benches balances noise and detail.");
+  return 0;
+}

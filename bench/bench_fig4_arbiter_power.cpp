@@ -1,0 +1,40 @@
+// Reproduces Figure 4 of the paper: arbiter power consumption during the
+// first 4 us. The arbiter is one of the least power-hungry sub-blocks --
+// compare against Figure 5 (M2S mux), which dwarfs it.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "power/report.hpp"
+
+int main() {
+  using namespace ahbp;
+
+  bench::PaperSystem sys({.trace_window = sim::SimTime::ns(100)});
+  std::puts("=== Figure 4: arbiter power consumption (first 4 us) ===\n");
+
+  sys.run(sim::SimTime::us(4));
+  sys.est->flush_trace();
+
+  const power::PowerTrace& tr = *sys.est->trace();
+  std::fputs(power::format_trace(tr, "arb", sim::SimTime::us(4)).c_str(), stdout);
+
+  double peak_arb = 0.0, peak_m2s = 0.0, sum_arb = 0.0, sum_m2s = 0.0;
+  for (const auto& p : tr.points()) {
+    peak_arb = std::max(peak_arb, tr.power_arb(p));
+    peak_m2s = std::max(peak_m2s, tr.power_m2s(p));
+    sum_arb += p.energy.arb;
+    sum_m2s += p.energy.m2s;
+  }
+  std::printf("\npeak arbiter power: %s   peak M2S power: %s\n",
+              power::format_power(peak_arb).c_str(),
+              power::format_power(peak_m2s).c_str());
+  std::printf("arbiter/M2S energy ratio over the window: %.4f (paper: << 1)\n",
+              sum_arb / sum_m2s);
+  if (sum_arb >= sum_m2s) {
+    std::puts("SHAPE CHECK FAILED: arbiter should dissipate far less than M2S");
+    return 1;
+  }
+  std::puts("SHAPE CHECK PASSED.");
+  return 0;
+}

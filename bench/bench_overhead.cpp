@@ -1,0 +1,86 @@
+// Reproduces the paper's Sec. 6 cost claim: "the price to pay for the
+// application of this analysis methodology ... is a doubling in the
+// simulation time". Google-benchmark measures the same 20k-cycle
+// testbench run with power analysis absent, disabled, and in each of the
+// three integration styles.
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "power/styles.hpp"
+
+namespace {
+
+using namespace ahbp;
+
+constexpr auto kSimTime = sim::SimTime::us(200);  // 20k cycles @ 100 MHz
+
+void BM_FunctionalOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::PaperSystem sys({.power_enabled = false});
+    sys.run(kSimTime);
+    benchmark::DoNotOptimize(sys.m1.stats().writes);
+  }
+}
+BENCHMARK(BM_FunctionalOnly)->Unit(benchmark::kMillisecond);
+
+void BM_PowerDisabled(benchmark::State& state) {
+  // Estimator constructed but bypassed at runtime (POWERTEST compiled in
+  // but switched off).
+  for (auto _ : state) {
+    bench::PaperSystem sys;
+    sys.est->set_enabled(false);
+    sys.run(kSimTime);
+    benchmark::DoNotOptimize(sys.m1.stats().writes);
+  }
+}
+BENCHMARK(BM_PowerDisabled)->Unit(benchmark::kMillisecond);
+
+void BM_PowerLocalStyle(benchmark::State& state) {
+  double energy = 0;
+  for (auto _ : state) {
+    bench::PaperSystem sys;
+    sys.run(kSimTime);
+    energy = sys.est->total_energy();
+    benchmark::DoNotOptimize(energy);
+  }
+  state.counters["energy_nJ"] = energy * 1e9;
+}
+BENCHMARK(BM_PowerLocalStyle)->Unit(benchmark::kMillisecond);
+
+void BM_PowerLocalWithTrace(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::PaperSystem sys({.trace_window = sim::SimTime::ns(100)});
+    sys.run(kSimTime);
+    benchmark::DoNotOptimize(sys.est->total_energy());
+  }
+}
+BENCHMARK(BM_PowerLocalWithTrace)->Unit(benchmark::kMillisecond);
+
+void BM_PowerPrivateStyle(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::PaperSystem sys({.power_enabled = false});
+    power::PrivatePowerModel priv(&sys.top, "priv", sys.bus);
+    sys.run(kSimTime);
+    benchmark::DoNotOptimize(priv.total_energy());
+  }
+}
+BENCHMARK(BM_PowerPrivateStyle)->Unit(benchmark::kMillisecond);
+
+void BM_PowerGlobalStyle(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::PaperSystem sys({.power_enabled = false});
+    power::GlobalPowerAnalyzer analyzer(
+        &sys.top, "an",
+        power::PowerFsm::Config{.n_masters = sys.bus.n_masters(),
+                                .n_slaves = sys.bus.n_slaves()});
+    power::BusActivityProbe probe(&sys.top, "probe", sys.bus, analyzer);
+    sys.run(kSimTime);
+    benchmark::DoNotOptimize(analyzer.total_energy());
+  }
+}
+BENCHMARK(BM_PowerGlobalStyle)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Extension bench: bus power under *real software* workloads. The paper
+// evaluates with synthetic WRITE-READ traffic; here the same methodology
+// measures RV32I programs running on the CPU master -- showing how
+// workload character (compute-bound vs copy vs write-burst) moves the
+// power picture, which is precisely the early-exploration question the
+// methodology exists to answer.
+
+#include <cstdio>
+#include <vector>
+
+#include "ahb/ahb.hpp"
+#include "cpu/cpu.hpp"
+#include "power/power.hpp"
+#include "sim/sim.hpp"
+
+namespace {
+
+using namespace ahbp;
+
+struct WorkloadResult {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  double energy = 0.0;
+  double mean_power = 0.0;
+  power::BlockEnergy blocks;
+};
+
+WorkloadResult run_program(const std::vector<std::uint32_t>& program,
+                           unsigned max_cycles) {
+  sim::Kernel kernel;
+  sim::Module top(nullptr, "top");
+  sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10));
+  ahb::AhbBus bus(&top, "ahb", clk);
+  ahb::DefaultMaster dm(&top, "dm", bus);
+  cpu::CpuMaster core(&top, "cpu", bus, {});
+  ahb::MemorySlave rom(&top, "rom", bus, {.base = 0x0000, .size = 0x1000});
+  ahb::MemorySlave ram(&top, "ram", bus, {.base = 0x1000, .size = 0x3000});
+  cpu::load_program(rom, 0, program);
+  for (int i = 0; i < 256; ++i) ram.poke(4 * i, 0x01010101u * (i & 0xFF));
+  bus.finalize();
+  power::AhbPowerEstimator est(&top, "power", bus);
+
+  unsigned budget = max_cycles;
+  while (!core.halted() && budget > 0) {
+    const unsigned chunk = std::min(budget, 1000u);
+    kernel.run(sim::SimTime::ns(10) * chunk);
+    budget -= chunk;
+  }
+
+  WorkloadResult r;
+  r.instructions = core.core().instret();
+  r.cycles = static_cast<std::uint64_t>(kernel.now() / sim::SimTime::ns(10));
+  r.energy = est.total_energy();
+  r.mean_power = r.energy / kernel.now().to_seconds();
+  r.blocks = est.block_totals();
+  return r;
+}
+
+void report(const char* name, const WorkloadResult& r) {
+  const double epi =
+      r.instructions > 0 ? r.energy / static_cast<double>(r.instructions) : 0;
+  std::printf("%-22s %9llu instr %8llu cyc  %10s  %10s  %12s\n", name,
+              static_cast<unsigned long long>(r.instructions),
+              static_cast<unsigned long long>(r.cycles),
+              power::format_energy(r.energy).c_str(),
+              power::format_power(r.mean_power).c_str(),
+              power::format_energy(epi).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Bus power of real RV32I workloads (CPU master @ 100 MHz) ===\n");
+  std::printf("%-22s %15s %12s %12s %12s %14s\n", "workload", "", "", "energy",
+              "mean power", "energy/instr");
+
+  const auto fib = run_program(cpu::progs::fibonacci(40), 100000);
+  report("fibonacci(40)", fib);
+
+  const auto copy = run_program(cpu::progs::memcpy_words(0x1000, 0x3000, 256),
+                                200000);
+  report("memcpy 256 words", copy);
+
+  const auto bytes = run_program(cpu::progs::memcpy_bytes(0x1000, 0x3000, 256),
+                                 400000);
+  report("memcpy 256 bytes", bytes);
+
+  const auto fill = run_program(cpu::progs::fill_random(0x3000, 256, 0xBEEF),
+                                200000);
+  report("fill 256 random words", fill);
+
+  std::puts("\nreading the table:");
+  std::puts(" * compute-bound code (fibonacci) still burns bus energy on its");
+  std::puts("   instruction stream -- fetch is bus traffic too;");
+  std::puts(" * random-data writes cost more per instruction than the copy");
+  std::puts("   (higher HWDATA Hamming distances -> more M2S switching);");
+  std::puts(" * byte-wise copy pays the read-modify-write tax per store.");
+
+  // Shape checks: data movement must cost more energy per instruction
+  // than pure compute.
+  const double epi_fib =
+      fib.energy / static_cast<double>(fib.instructions);
+  const double epi_fill =
+      fill.energy / static_cast<double>(fill.instructions);
+  if (epi_fill <= epi_fib) {
+    std::puts("WORKLOAD CHECK FAILED: write-heavy code should out-spend compute");
+    return 1;
+  }
+  std::puts("WORKLOAD CHECK PASSED.");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Architecture exploration -- the use case the paper's introduction
+// motivates: "in a small time it is possible to evaluate hundreds of
+// different configurations and architectures in order to reach the
+// desired trade-offs in terms of speed, throughput and power".
+//
+// Sweeps arbitration policy, slave wait states and slave count for the
+// same workload, reporting throughput (completed transfers) against
+// total bus energy, so a designer can pick the architecture before any
+// RTL exists.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "ahb/ahb.hpp"
+#include "gate/area.hpp"
+#include "power/power.hpp"
+#include "sim/sim.hpp"
+
+namespace {
+
+using namespace ahbp;
+
+struct RunResult {
+  std::uint64_t transfers = 0;
+  std::uint64_t handovers = 0;
+  double energy = 0.0;
+  double energy_per_transfer = 0.0;
+};
+
+RunResult run_config(ahb::ArbitrationPolicy policy, unsigned wait_states,
+                     unsigned n_slaves) {
+  sim::Kernel kernel;
+  sim::Module top(nullptr, "top");
+  sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10));
+  ahb::AhbBus bus(&top, "ahb", clk, ahb::AhbBus::Config{.policy = policy});
+
+  ahb::DefaultMaster dm(&top, "dm", bus);
+  ahb::TrafficMaster m1(&top, "m1", bus,
+                        {.addr_base = 0x0000, .addr_range = 0x1000, .seed = 1});
+  ahb::TrafficMaster m2(&top, "m2", bus,
+                        {.addr_base = 0x1000, .addr_range = 0x1000, .seed = 2});
+
+  std::vector<std::unique_ptr<ahb::MemorySlave>> slaves;
+  for (unsigned s = 0; s < n_slaves; ++s) {
+    slaves.push_back(std::make_unique<ahb::MemorySlave>(
+        &top, "s" + std::to_string(s), bus,
+        ahb::MemorySlave::Config{.base = 0x1000u * s,
+                                 .size = 0x1000,
+                                 .wait_states = wait_states}));
+  }
+  bus.finalize();
+  ahb::BusMonitor mon(&top, "mon", bus);
+  power::AhbPowerEstimator est(&top, "power", bus);
+
+  kernel.run(sim::SimTime::us(50));
+
+  RunResult r;
+  r.transfers = mon.stats().transfers;
+  r.handovers = mon.stats().handovers;
+  r.energy = est.total_energy();
+  r.energy_per_transfer =
+      r.transfers > 0 ? r.energy / static_cast<double>(r.transfers) : 0.0;
+  return r;
+}
+
+const char* policy_name(ahb::ArbitrationPolicy p) {
+  return p == ahb::ArbitrationPolicy::kFixedPriority ? "fixed-priority"
+                                                     : "round-robin";
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Architecture exploration: power/performance/area per configuration ===");
+  std::puts("workload: 2 traffic masters, 50 us @ 100 MHz\n");
+  std::printf("%-16s %6s %7s | %10s %10s %14s %16s %12s\n", "policy", "waits",
+              "slaves", "transfers", "handovers", "total energy",
+              "energy/transfer", "area (GE)");
+
+  for (const auto policy : {ahb::ArbitrationPolicy::kFixedPriority,
+                            ahb::ArbitrationPolicy::kRoundRobin}) {
+    for (const unsigned waits : {0u, 1u, 3u}) {
+      for (const unsigned n_slaves : {2u, 3u, 6u}) {
+        const RunResult r = run_config(policy, waits, n_slaves);
+        // The cost axis: NAND2-equivalent fabric area (3 masters incl.
+        // the default master; +1 slave for the built-in default slave).
+        const double area = gate::estimate_ahb_area(3, n_slaves + 1).total();
+        std::printf("%-16s %6u %7u | %10llu %10llu %14s %16s %12.0f\n",
+                    policy_name(policy), waits, n_slaves,
+                    static_cast<unsigned long long>(r.transfers),
+                    static_cast<unsigned long long>(r.handovers),
+                    power::format_energy(r.energy).c_str(),
+                    power::format_energy(r.energy_per_transfer).c_str(), area);
+      }
+    }
+  }
+
+  std::puts("\nreading the table:");
+  std::puts(" * wait states cut throughput but also total switching energy --");
+  std::puts("   energy per completed transfer is the metric to compare;");
+  std::puts(" * extra slaves grow the decoder (n_O) and S2M mux, visible in");
+  std::puts("   energy/transfer even at identical throughput;");
+  std::puts(" * arbitration policy barely moves energy: the data-path dominates,");
+  std::puts("   exactly the paper's conclusion.");
+  return 0;
+}

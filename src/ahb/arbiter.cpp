@@ -1,0 +1,83 @@
+#include "ahb/arbiter.hpp"
+
+#include "sim/report.hpp"
+
+namespace ahbp::ahb {
+
+using sim::SimError;
+
+Arbiter::Arbiter(sim::Module* parent, std::string name, sim::Clock& clk,
+                 BusSignals& bus, ArbitrationPolicy policy, unsigned default_master)
+    : Module(parent, std::move(name)),
+      clk_(clk),
+      bus_(bus),
+      policy_(policy),
+      default_master_(default_master) {}
+
+unsigned Arbiter::attach(sim::Signal<bool>& hbusreq) {
+  if (proc_) throw SimError("arbiter: attach after finalize");
+  reqs_.push_back(&hbusreq);
+  return static_cast<unsigned>(reqs_.size() - 1);
+}
+
+void Arbiter::finalize() {
+  if (proc_) throw SimError("arbiter: finalize called twice");
+  if (reqs_.empty()) throw SimError("arbiter: no masters attached");
+  if (default_master_ >= reqs_.size()) {
+    throw SimError("arbiter: default master index out of range");
+  }
+  for (unsigned m = 0; m < reqs_.size(); ++m) {
+    grants_.push_back(std::make_unique<sim::Signal<bool>>(
+        this, "hgrant" + std::to_string(m), m == default_master_));
+  }
+  current_ = default_master_;
+  bus_.hmaster.write(static_cast<std::uint8_t>(current_));
+  proc_ = std::make_unique<sim::Method>(this, "arbitrate", [this] { arbitrate(); });
+  proc_->sensitive(clk_.posedge_event()).dont_initialize();
+}
+
+std::uint32_t Arbiter::request_vector() const {
+  std::uint32_t v = 0;
+  for (unsigned m = 0; m < reqs_.size(); ++m) {
+    if (reqs_[m]->read()) v |= 1u << m;
+  }
+  return v;
+}
+
+unsigned Arbiter::pick_next() const {
+  switch (policy_) {
+    case ArbitrationPolicy::kFixedPriority:
+      for (unsigned m = 0; m < reqs_.size(); ++m) {
+        if (reqs_[m]->read()) return m;
+      }
+      return default_master_;
+    case ArbitrationPolicy::kRoundRobin:
+      for (unsigned off = 1; off <= reqs_.size(); ++off) {
+        const unsigned m = (current_ + off) % static_cast<unsigned>(reqs_.size());
+        if (reqs_[m]->read()) return m;
+      }
+      return default_master_;
+  }
+  return default_master_;
+}
+
+void Arbiter::arbitrate() {
+  // Handover only when the data path is quiescent: bus ready and the
+  // current owner driving IDLE (paper's testbench restriction). The owner
+  // also keeps the bus as long as it still requests it -- this makes
+  // WRITE-READ sequences non-interruptible and closes the race where a
+  // grant moves in the same cycle the new owner launches its first
+  // address phase.
+  if (!bus_.hready.read()) return;
+  if (static_cast<Trans>(bus_.htrans.read()) != Trans::kIdle) return;
+  if (reqs_[current_]->read()) return;
+  const unsigned next = pick_next();
+  if (next == current_) return;
+  grants_[current_]->write(false);
+  grants_[next]->write(true);
+  bus_.hmaster.write(static_cast<std::uint8_t>(next));
+  current_ = next;
+  ++handovers_;
+}
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,67 @@
+#pragma once
+// AHB arbiter: grants bus ownership, drives HGRANTx and HMASTER.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ahb/signals.hpp"
+#include "sim/clock.hpp"
+#include "sim/module.hpp"
+#include "sim/process.hpp"
+
+namespace ahbp::ahb {
+
+/// Arbitration policy for the next bus owner.
+enum class ArbitrationPolicy : std::uint8_t {
+  kFixedPriority,  ///< lowest master index wins (paper's scheme)
+  kRoundRobin,     ///< rotate starting after the last owner
+};
+
+/// The bus arbiter.
+///
+/// Re-arbitration happens at a clock edge when the bus is ready and the
+/// current owner is driving IDLE -- the paper's simplification ("a bus
+/// handover can occur only in this [idle] period"), which also keeps
+/// WRITE-READ sequences non-interruptible. When no master requests, the
+/// default master is granted.
+///
+/// Owned and wired by AhbBus; exposed for inspection and power probing.
+class Arbiter : public sim::Module {
+public:
+  Arbiter(sim::Module* parent, std::string name, sim::Clock& clk, BusSignals& bus,
+          ArbitrationPolicy policy, unsigned default_master);
+
+  /// Registers one master's request line; returns the master index.
+  unsigned attach(sim::Signal<bool>& hbusreq);
+
+  /// Creates the grant signals and the arbitration process. Call once,
+  /// after all masters are attached.
+  void finalize();
+
+  [[nodiscard]] sim::Signal<bool>& hgrant(unsigned m) { return *grants_.at(m); }
+  [[nodiscard]] unsigned n_masters() const { return static_cast<unsigned>(reqs_.size()); }
+  [[nodiscard]] ArbitrationPolicy policy() const { return policy_; }
+
+  /// Number of grant changes (bus handovers) observed so far.
+  [[nodiscard]] std::uint64_t handover_count() const { return handovers_; }
+
+  /// Current HBUSREQ lines packed as a bit vector (bit m = master m).
+  [[nodiscard]] std::uint32_t request_vector() const;
+
+private:
+  void arbitrate();
+  [[nodiscard]] unsigned pick_next() const;
+
+  sim::Clock& clk_;
+  BusSignals& bus_;
+  ArbitrationPolicy policy_;
+  unsigned default_master_;
+  unsigned current_ = 0;
+  std::uint64_t handovers_ = 0;
+  std::vector<sim::Signal<bool>*> reqs_;
+  std::vector<std::unique_ptr<sim::Signal<bool>>> grants_;
+  std::unique_ptr<sim::Method> proc_;
+};
+
+}  // namespace ahbp::ahb

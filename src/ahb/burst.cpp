@@ -1,0 +1,203 @@
+#include "ahb/burst.hpp"
+
+#include <vector>
+
+#include "ahb/bus.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::ahb {
+
+using sim::SimError;
+using sim::Task;
+using sim::wait;
+
+std::uint32_t next_burst_addr(std::uint32_t addr, Burst burst, Size size) {
+  const std::uint32_t step = size_bytes(size);
+  const std::uint32_t next = addr + step;
+  switch (burst) {
+    case Burst::kSingle:
+    case Burst::kIncr:
+    case Burst::kIncr4:
+    case Burst::kIncr8:
+    case Burst::kIncr16:
+      return next;
+    case Burst::kWrap4:
+    case Burst::kWrap8:
+    case Burst::kWrap16: {
+      const std::uint32_t block = burst_beats(burst) * step;
+      const std::uint32_t base = addr & ~(block - 1);
+      return base | (next & (block - 1));
+    }
+  }
+  return next;
+}
+
+std::uint32_t wrap_boundary(std::uint32_t addr, Burst burst, Size size) {
+  const std::uint32_t block = burst_beats(burst) * size_bytes(size);
+  if (block == 0) return addr;  // INCR: no boundary
+  return addr & ~(block - 1);
+}
+
+BurstMaster::BurstMaster(sim::Module* parent, std::string name, AhbBus& bus,
+                         Config cfg)
+    : AhbMaster(parent, std::move(name), bus),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      thread_(this, "proc", [this] { return body(); }) {
+  if (cfg_.burst == Burst::kSingle) {
+    throw SimError("BurstMaster: use TrafficMaster for SINGLE transfers");
+  }
+  if (cfg_.burst == Burst::kIncr && cfg_.incr_beats < 2) {
+    throw SimError("BurstMaster: INCR bursts need >= 2 beats");
+  }
+  if (cfg_.busy_percent > 100) throw SimError("BurstMaster: busy_percent > 100");
+  const unsigned beats =
+      cfg_.burst == Burst::kIncr ? cfg_.incr_beats : burst_beats(cfg_.burst);
+  if (cfg_.addr_range < beats * 4) {
+    throw SimError("BurstMaster: address window smaller than one burst");
+  }
+  if (cfg_.max_idle_cycles < cfg_.min_idle_cycles || cfg_.min_idle_cycles == 0) {
+    throw SimError("BurstMaster: bad idle-cycle bounds");
+  }
+  const std::uint32_t block = burst_beats(cfg_.burst) * 4;
+  const bool wrapping = cfg_.burst == Burst::kWrap4 || cfg_.burst == Burst::kWrap8 ||
+                        cfg_.burst == Burst::kWrap16;
+  if (wrapping && cfg_.addr_base % block != 0) {
+    throw SimError("BurstMaster: addr_base must be wrap-block aligned");
+  }
+}
+
+Task BurstMaster::body() {
+  BusSignals& bus = bus_signals();
+  sim::Event& edge = clock().posedge_event();
+  const unsigned beats =
+      cfg_.burst == Burst::kIncr ? cfg_.incr_beats : burst_beats(cfg_.burst);
+
+  auto rand_between = [this](unsigned lo, unsigned hi) {
+    return lo + static_cast<unsigned>(rng_() % (hi - lo + 1));
+  };
+
+  for (;;) {
+    // IDLE window (handover opportunity).
+    sig_.htrans.write(raw(Trans::kIdle));
+    sig_.hbusreq.write(false);
+    const unsigned idle_n = rand_between(cfg_.min_idle_cycles, cfg_.max_idle_cycles);
+    for (unsigned i = 0; i < idle_n; ++i) co_await wait(edge);
+
+    // Own the bus.
+    sig_.hbusreq.write(true);
+    do {
+      co_await wait(edge);
+    } while (!(granted() && bus.hready.read()));
+
+    // Pick a legal start address: word-aligned; for wrapping bursts any
+    // aligned address inside the window works (the sequence wraps).
+    const std::uint32_t words = cfg_.addr_range / 4;
+    std::uint32_t start = cfg_.addr_base + 4 * static_cast<std::uint32_t>(
+                                                   rng_() % (words - beats + 1));
+    const bool wrapping = cfg_.burst == Burst::kWrap4 ||
+                          cfg_.burst == Burst::kWrap8 ||
+                          cfg_.burst == Burst::kWrap16;
+    if (wrapping) {
+      // Keep the whole wrap block inside the window (addr_base is
+      // block-aligned, checked at construction).
+      start = wrap_boundary(start, cfg_.burst, Size::kWord);
+    }
+
+    // Beat plan: write burst then read-back burst.
+    struct Beat {
+      bool write;
+      bool first;  ///< NONSEQ (new burst) vs SEQ
+      std::uint32_t addr;
+      std::uint32_t data;
+    };
+    std::vector<Beat> plan;
+    plan.reserve(2 * beats);
+    for (int pass = 0; pass < 2; ++pass) {
+      std::uint32_t a = start;
+      for (unsigned b = 0; b < beats; ++b) {
+        plan.push_back(Beat{pass == 0, b == 0, a, 0});
+        a = next_burst_addr(a, cfg_.burst, Size::kWord);
+      }
+    }
+    // One data word per address, shared by the write and read passes.
+    for (unsigned b = 0; b < beats; ++b) {
+      const auto d = static_cast<std::uint32_t>(rng_());
+      plan[b].data = d;
+      plan[beats + b].data = d;
+    }
+
+    // Pipelined beat engine with optional BUSY insertion.
+    bool have_pending = false;
+    Beat pending{};
+    for (const Beat& b : plan) {
+      if (!b.first && cfg_.busy_percent != 0 &&
+          rng_() % 100 < cfg_.busy_percent) {
+        // BUSY beat: address/control show the upcoming transfer, no data
+        // phase is created; exactly one cycle (zero-wait by protocol).
+        sig_.htrans.write(raw(Trans::kBusy));
+        sig_.haddr.write(b.addr);
+        sig_.hwrite.write(b.write);
+        if (have_pending && pending.write) sig_.hwdata.write(pending.data);
+        do {
+          co_await wait(edge);
+        } while (!bus.hready.read());
+        ++stats_.busy_beats;
+        if (have_pending) {
+          // The pending beat's data phase completed under the BUSY beat.
+          if (static_cast<Resp>(bus.hresp.read()) != Resp::kOkay) {
+            ++stats_.error_responses;
+          }
+          if (pending.write) {
+            ++stats_.write_beats;
+          } else {
+            ++stats_.read_beats;
+            if (bus.hrdata.read() != pending.data) ++stats_.read_mismatches;
+          }
+          have_pending = false;
+        }
+      }
+
+      sig_.htrans.write(raw(b.first ? Trans::kNonSeq : Trans::kSeq));
+      sig_.haddr.write(b.addr);
+      sig_.hwrite.write(b.write);
+      sig_.hburst.write(raw(cfg_.burst));
+      sig_.hsize.write(raw(Size::kWord));
+      if (have_pending && pending.write) sig_.hwdata.write(pending.data);
+      do {
+        co_await wait(edge);
+      } while (!bus.hready.read());
+      if (have_pending) {
+        if (static_cast<Resp>(bus.hresp.read()) != Resp::kOkay) {
+          ++stats_.error_responses;
+        }
+        if (pending.write) {
+          ++stats_.write_beats;
+        } else {
+          ++stats_.read_beats;
+          if (bus.hrdata.read() != pending.data) ++stats_.read_mismatches;
+        }
+      }
+      pending = b;
+      have_pending = true;
+    }
+
+    // Drain the last beat.
+    sig_.htrans.write(raw(Trans::kIdle));
+    sig_.hbusreq.write(false);
+    if (pending.write) sig_.hwdata.write(pending.data);
+    do {
+      co_await wait(edge);
+    } while (!bus.hready.read());
+    if (static_cast<Resp>(bus.hresp.read()) != Resp::kOkay) ++stats_.error_responses;
+    if (pending.write) {
+      ++stats_.write_beats;
+    } else {
+      ++stats_.read_beats;
+      if (bus.hrdata.read() != pending.data) ++stats_.read_mismatches;
+    }
+    stats_.bursts += 2;  // one write burst + one read burst
+  }
+}
+
+}  // namespace ahbp::ahb

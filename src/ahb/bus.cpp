@@ -1,0 +1,54 @@
+#include "ahb/bus.hpp"
+
+#include "ahb/slave.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::ahb {
+
+using sim::SimError;
+
+AhbBus::AhbBus(sim::Module* parent, std::string name, sim::Clock& clk)
+    : AhbBus(parent, std::move(name), clk, Config{}) {}
+
+AhbBus::AhbBus(sim::Module* parent, std::string name, sim::Clock& clk, Config cfg)
+    : Module(parent, std::move(name)),
+      clk_(clk),
+      cfg_(cfg),
+      sig_(this, "sig"),
+      arbiter_(this, "arbiter", clk, sig_, cfg.policy, cfg.default_master),
+      decoder_(this, "decoder", sig_),
+      m2s_(this, "m2s", sig_),
+      pipeline_(this, "pipeline", clk, sig_, decoder_),
+      s2m_(this, "s2m", sig_, pipeline_.data_phase_slave()) {}
+
+AhbBus::~AhbBus() = default;
+
+unsigned AhbBus::attach_master(MasterSignals& m) {
+  if (finalized_) throw SimError("AhbBus: attach_master after finalize");
+  const unsigned idx = arbiter_.attach(m.hbusreq);
+  m2s_.attach(m);
+  return idx;
+}
+
+unsigned AhbBus::attach_slave(SlaveSignals& s, AddressRange range) {
+  if (finalized_) throw SimError("AhbBus: attach_slave after finalize");
+  const unsigned idx = decoder_.attach(range);
+  s2m_.attach(s);
+  return idx;
+}
+
+void AhbBus::finalize() {
+  if (finalized_) throw SimError("AhbBus: finalize called twice");
+  if (m2s_.n_inputs() == 0) throw SimError("AhbBus: no masters attached");
+  // The built-in default slave catches unmapped addresses; constructing
+  // it self-attaches as the last slave index.
+  default_slave_ = std::make_unique<DefaultSlave>(this, "default_slave", *this);
+  decoder_.set_fallback(default_slave_->index());
+  arbiter_.finalize();
+  decoder_.finalize();
+  m2s_.finalize();
+  s2m_.finalize();
+  finalized_ = true;
+}
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,114 @@
+#include "ahb/monitor.hpp"
+
+#include "ahb/burst.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::ahb {
+
+using sim::SimError;
+
+BusMonitor::BusMonitor(sim::Module* parent, std::string name, AhbBus& bus)
+    : BusMonitor(parent, std::move(name), bus, Config{}) {}
+
+BusMonitor::BusMonitor(sim::Module* parent, std::string name, AhbBus& bus, Config cfg)
+    : Module(parent, std::move(name)),
+      bus_(bus),
+      cfg_(cfg),
+      proc_(this, "check", [this] { on_clock(); }) {
+  proc_.sensitive(bus.clock().posedge_event()).dont_initialize();
+}
+
+void BusMonitor::violation(const std::string& what) {
+  violations_.push_back(what);
+  if (cfg_.fatal) {
+    throw SimError("AHB protocol violation at " + kernel().now().to_string() + ": " +
+                   what);
+  }
+  sim::warn("ahb-protocol", what);
+}
+
+void BusMonitor::on_clock() {
+  BusSignals& b = bus_.bus();
+  const auto htrans = static_cast<Trans>(b.htrans.read());
+  const bool hready = b.hready.read();
+  const auto hresp = static_cast<Resp>(b.hresp.read());
+  const bool data_active = bus_.pipeline().data_phase_active().read();
+  const bool data_write = bus_.pipeline().data_phase_write().read();
+  const std::uint8_t hmaster = b.hmaster.read();
+
+  ++stats_.cycles;
+
+  // --- statistics --------------------------------------------------------
+  if (data_active && hready) {
+    ++stats_.transfers;
+    if (data_write) {
+      ++stats_.writes;
+    } else {
+      ++stats_.reads;
+    }
+  }
+  if (data_active && !hready) ++stats_.wait_cycles;
+  if (htrans == Trans::kIdle) ++stats_.idle_cycles;
+  if (prev_.valid && hmaster != prev_.hmaster) ++stats_.handovers;
+  if (hresp == Resp::kError && hready) ++stats_.error_responses;
+
+  // --- protocol checks ----------------------------------------------------
+  // Exactly one grant must be asserted.
+  unsigned grants = 0;
+  for (unsigned m = 0; m < bus_.n_masters(); ++m) {
+    if (bus_.hgrant(m).read()) ++grants;
+  }
+  if (grants != 1) {
+    violation("expected exactly one HGRANT asserted, saw " + std::to_string(grants));
+  }
+
+  // The bus must be ready whenever no data phase is in flight.
+  if (!data_active && !hready) {
+    violation("HREADY low with no data phase in flight");
+  }
+
+  if (prev_.valid) {
+    // Address phase must be held stable while the bus is stalled.
+    if (!prev_.hready && is_active(prev_.htrans)) {
+      if (b.haddr.read() != prev_.haddr || htrans != prev_.htrans ||
+          b.hwrite.read() != prev_.hwrite) {
+        violation("address phase changed during wait states");
+      }
+    }
+    // SEQ may only continue a burst, never start one.
+    if (htrans == Trans::kSeq && prev_.htrans == Trans::kIdle) {
+      violation("SEQ transfer immediately after IDLE");
+    }
+    // Burst address sequencing: a SEQ beat following an accepted beat
+    // must continue the burst's address pattern; a SEQ after BUSY must
+    // carry the address the BUSY beat already showed. (BUSY itself may
+    // only appear inside a burst.)
+    if (htrans == Trans::kSeq && prev_.hready) {
+      std::uint32_t expected = prev_.haddr;
+      if (prev_.htrans == Trans::kNonSeq || prev_.htrans == Trans::kSeq) {
+        expected = next_burst_addr(prev_.haddr, prev_.hburst, prev_.hsize);
+      }
+      if (b.haddr.read() != expected) {
+        violation("SEQ beat breaks the burst address sequence");
+      }
+    }
+    if (htrans == Trans::kBusy && prev_.htrans == Trans::kIdle) {
+      violation("BUSY beat outside a burst");
+    }
+    // Handover is only legal out of an IDLE address phase.
+    if (hmaster != prev_.hmaster && prev_.htrans != Trans::kIdle) {
+      violation("bus handover while the previous owner was mid-transfer");
+    }
+  }
+
+  prev_.valid = true;
+  prev_.haddr = b.haddr.read();
+  prev_.htrans = htrans;
+  prev_.hwrite = b.hwrite.read();
+  prev_.hready = hready;
+  prev_.hmaster = hmaster;
+  prev_.hburst = static_cast<Burst>(b.hburst.read());
+  prev_.hsize = static_cast<Size>(b.hsize.read());
+}
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,69 @@
+#pragma once
+// Bus monitor: AHB protocol checker and cycle-level statistics.
+//
+// Passive observer -- attach it to a finalized bus and it samples the
+// shared signals once per clock edge (the values settled in the cycle
+// that just ended), verifying protocol invariants and counting activity.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ahb/bus.hpp"
+#include "sim/module.hpp"
+#include "sim/process.hpp"
+
+namespace ahbp::ahb {
+
+/// Protocol checker + statistics counter.
+class BusMonitor : public sim::Module {
+public:
+  struct Config {
+    /// Throw sim::SimError on the first violation (true) or just record
+    /// it (false).
+    bool fatal = true;
+  };
+
+  struct Stats {
+    std::uint64_t cycles = 0;
+    std::uint64_t transfers = 0;  ///< completed data phases
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t wait_cycles = 0;   ///< data phase stalled
+    std::uint64_t idle_cycles = 0;   ///< address phase IDLE
+    std::uint64_t handovers = 0;     ///< HMASTER changes
+    std::uint64_t error_responses = 0;
+  };
+
+  BusMonitor(sim::Module* parent, std::string name, AhbBus& bus);
+  BusMonitor(sim::Module* parent, std::string name, AhbBus& bus, Config cfg);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<std::string>& violations() const { return violations_; }
+
+private:
+  void on_clock();
+  void violation(const std::string& what);
+
+  AhbBus& bus_;
+  Config cfg_;
+  Stats stats_;
+  std::vector<std::string> violations_;
+
+  /// Snapshot of the previous cycle's settled values.
+  struct Snapshot {
+    bool valid = false;
+    std::uint32_t haddr = 0;
+    Trans htrans = Trans::kIdle;
+    bool hwrite = false;
+    bool hready = true;
+    std::uint8_t hmaster = 0;
+    Burst hburst = Burst::kSingle;
+    Size hsize = Size::kWord;
+  };
+  Snapshot prev_;
+
+  sim::Method proc_;
+};
+
+}  // namespace ahbp::ahb

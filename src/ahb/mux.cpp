@@ -1,0 +1,130 @@
+#include "ahb/mux.hpp"
+
+#include "sim/report.hpp"
+
+namespace ahbp::ahb {
+
+using sim::SimError;
+
+// ---------------------------------------------------------------------------
+// MuxM2S
+
+MuxM2S::MuxM2S(sim::Module* parent, std::string name, BusSignals& bus)
+    : Module(parent, std::move(name)), bus_(bus) {}
+
+void MuxM2S::attach(MasterSignals& m) {
+  if (addr_proc_) throw SimError("m2s mux: attach after finalize");
+  masters_.push_back(&m);
+}
+
+void MuxM2S::finalize() {
+  if (addr_proc_) throw SimError("m2s mux: finalize called twice");
+  if (masters_.empty()) throw SimError("m2s mux: no masters attached");
+
+  addr_proc_ = std::make_unique<sim::Method>(this, "route_addr",
+                                             [this] { route_address(); });
+  addr_proc_->sensitive(bus_.hmaster.value_changed_event());
+  for (MasterSignals* m : masters_) {
+    addr_proc_->sensitive(m->haddr.value_changed_event())
+        .sensitive(m->htrans.value_changed_event())
+        .sensitive(m->hwrite.value_changed_event())
+        .sensitive(m->hsize.value_changed_event())
+        .sensitive(m->hburst.value_changed_event());
+  }
+
+  wdata_proc_ =
+      std::make_unique<sim::Method>(this, "route_wdata", [this] { route_wdata(); });
+  wdata_proc_->sensitive(bus_.hmaster_data.value_changed_event());
+  for (MasterSignals* m : masters_) {
+    wdata_proc_->sensitive(m->hwdata.value_changed_event());
+  }
+}
+
+void MuxM2S::route_address() {
+  const unsigned m = bus_.hmaster.read();
+  if (m >= masters_.size()) throw SimError("m2s mux: HMASTER out of range");
+  const MasterSignals& src = *masters_[m];
+  bus_.haddr.write(src.haddr.read());
+  bus_.htrans.write(src.htrans.read());
+  bus_.hwrite.write(src.hwrite.read());
+  bus_.hsize.write(src.hsize.read());
+  bus_.hburst.write(src.hburst.read());
+}
+
+void MuxM2S::route_wdata() {
+  const unsigned m = bus_.hmaster_data.read();
+  if (m >= masters_.size()) throw SimError("m2s mux: HMASTER_DATA out of range");
+  bus_.hwdata.write(masters_[m]->hwdata.read());
+}
+
+// ---------------------------------------------------------------------------
+// MuxS2M
+
+MuxS2M::MuxS2M(sim::Module* parent, std::string name, BusSignals& bus,
+               sim::Signal<std::uint8_t>& data_phase_slave)
+    : Module(parent, std::move(name)), bus_(bus), data_slave_(data_phase_slave) {}
+
+void MuxS2M::attach(SlaveSignals& s) {
+  if (proc_) throw SimError("s2m mux: attach after finalize");
+  slaves_.push_back(&s);
+}
+
+void MuxS2M::finalize() {
+  if (proc_) throw SimError("s2m mux: finalize called twice");
+  if (slaves_.empty()) throw SimError("s2m mux: no slaves attached");
+  proc_ = std::make_unique<sim::Method>(this, "route", [this] { route(); });
+  proc_->sensitive(data_slave_.value_changed_event());
+  for (SlaveSignals* s : slaves_) {
+    proc_->sensitive(s->hrdata.value_changed_event())
+        .sensitive(s->hreadyout.value_changed_event())
+        .sensitive(s->hresp.value_changed_event());
+  }
+}
+
+void MuxS2M::route() {
+  const unsigned s = data_slave_.read();
+  if (s == kNoSlave) {
+    // No data phase in flight: bus idles ready with OKAY. HRDATA holds
+    // its last value -- a real mux keeps driving its previous path, and
+    // forcing zero would fabricate switching activity the hardware does
+    // not have.
+    bus_.hready.write(true);
+    bus_.hresp.write(raw(Resp::kOkay));
+    return;
+  }
+  if (s >= slaves_.size()) throw SimError("s2m mux: data-phase slave out of range");
+  const SlaveSignals& src = *slaves_[s];
+  bus_.hrdata.write(src.hrdata.read());
+  bus_.hready.write(src.hreadyout.read());
+  bus_.hresp.write(src.hresp.read());
+}
+
+// ---------------------------------------------------------------------------
+// PipelineRegister
+
+PipelineRegister::PipelineRegister(sim::Module* parent, std::string name,
+                                   sim::Clock& clk, BusSignals& bus, Decoder& decoder)
+    : Module(parent, std::move(name)),
+      bus_(bus),
+      decoder_(decoder),
+      data_slave_(this, "data_slave", kNoSlave),
+      data_active_(this, "data_active", false),
+      data_write_(this, "data_write", false),
+      data_addr_(this, "data_addr", 0),
+      proc_(this, "latch", [this] { latch(); }) {
+  proc_.sensitive(clk.posedge_event()).dont_initialize();
+}
+
+void PipelineRegister::latch() {
+  // A data phase begins when the previous one completed (HREADY high at
+  // this edge). IDLE/BUSY address phases produce an "empty" data phase.
+  if (!bus_.hready.read()) return;
+  const bool active = is_active(static_cast<Trans>(bus_.htrans.read()));
+  bus_.hmaster_data.write(bus_.hmaster.read());
+  data_active_.write(active);
+  data_write_.write(active && bus_.hwrite.read());
+  data_addr_.write(bus_.haddr.read());
+  data_slave_.write(active ? decoder_.selected().read() : kNoSlave);
+}
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,109 @@
+#pragma once
+// AHB multiplexing logic: masters-to-slaves (address/control and write
+// data) and slaves-to-masters (read data / ready / response), plus the
+// data-phase pipeline register that steers them.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ahb/decoder.hpp"
+#include "ahb/signals.hpp"
+#include "sim/clock.hpp"
+#include "sim/module.hpp"
+#include "sim/process.hpp"
+
+namespace ahbp::ahb {
+
+/// Masters-to-slaves multiplexer (the paper's "M2S" block).
+///
+/// Routes the granted master's address/control onto the shared bus
+/// combinationally, and the *data-phase* owner's HWDATA onto the shared
+/// write-data bus (AHB pipelines address and data phases, so the two
+/// selects differ by one transfer).
+class MuxM2S : public sim::Module {
+public:
+  MuxM2S(sim::Module* parent, std::string name, BusSignals& bus);
+
+  /// Registers one master's outgoing bundle (index order must match the
+  /// arbiter's).
+  void attach(MasterSignals& m);
+
+  /// Creates the mux processes. Call once after all masters attach.
+  void finalize();
+
+  [[nodiscard]] unsigned n_inputs() const { return static_cast<unsigned>(masters_.size()); }
+  /// The attached master bundles, by index (observability for gate-level
+  /// co-simulation and tests).
+  [[nodiscard]] const MasterSignals& input(unsigned m) const { return *masters_.at(m); }
+
+private:
+  void route_address();
+  void route_wdata();
+
+  BusSignals& bus_;
+  std::vector<MasterSignals*> masters_;
+  std::unique_ptr<sim::Method> addr_proc_;
+  std::unique_ptr<sim::Method> wdata_proc_;
+};
+
+/// Slaves-to-masters multiplexer (the paper's "S2M" block).
+///
+/// Routes the data-phase slave's HRDATA / HREADYOUT / HRESP onto the
+/// shared response bus. When no slave owns the data phase the bus is
+/// ready with OKAY.
+class MuxS2M : public sim::Module {
+public:
+  MuxS2M(sim::Module* parent, std::string name, BusSignals& bus,
+         sim::Signal<std::uint8_t>& data_phase_slave);
+
+  /// Registers one slave's response bundle (index order must match the
+  /// decoder's).
+  void attach(SlaveSignals& s);
+
+  /// Creates the mux process. Call once after all slaves attach.
+  void finalize();
+
+  [[nodiscard]] unsigned n_inputs() const { return static_cast<unsigned>(slaves_.size()); }
+
+private:
+  void route();
+
+  BusSignals& bus_;
+  sim::Signal<std::uint8_t>& data_slave_;
+  std::vector<SlaveSignals*> slaves_;
+  std::unique_ptr<sim::Method> proc_;
+};
+
+/// The address-phase -> data-phase pipeline register.
+///
+/// At every ready clock edge it latches which master owned the address
+/// phase and which slave it addressed; these registered values steer the
+/// write-data and response muxes during the following data phase.
+class PipelineRegister : public sim::Module {
+public:
+  PipelineRegister(sim::Module* parent, std::string name, sim::Clock& clk,
+                   BusSignals& bus, Decoder& decoder);
+
+  /// Slave owning the current data phase (kNoSlave when none).
+  [[nodiscard]] sim::Signal<std::uint8_t>& data_phase_slave() { return data_slave_; }
+  /// True while the current data phase belongs to an active transfer.
+  [[nodiscard]] sim::Signal<bool>& data_phase_active() { return data_active_; }
+  /// True while the current data phase is a write.
+  [[nodiscard]] sim::Signal<bool>& data_phase_write() { return data_write_; }
+  /// Address latched for the current data phase.
+  [[nodiscard]] sim::Signal<std::uint32_t>& data_phase_addr() { return data_addr_; }
+
+private:
+  void latch();
+
+  BusSignals& bus_;
+  Decoder& decoder_;
+  sim::Signal<std::uint8_t> data_slave_;
+  sim::Signal<bool> data_active_;
+  sim::Signal<bool> data_write_;
+  sim::Signal<std::uint32_t> data_addr_;
+  sim::Method proc_;
+};
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,89 @@
+#pragma once
+// Signal bundles for the AHB fabric.
+//
+// Naming follows the AMBA spec: HADDR/HTRANS/... carried as plain
+// integral signals (enum encodings via ahb::raw / static_cast).
+
+#include <cstdint>
+#include <string>
+
+#include "ahb/types.hpp"
+#include "sim/module.hpp"
+#include "sim/signal.hpp"
+
+namespace ahbp::ahb {
+
+/// Per-master request/address/control/write-data outputs.
+struct MasterSignals {
+  MasterSignals(sim::Module* parent, const std::string& prefix)
+      : hbusreq(parent, prefix + ".hbusreq", false),
+        hlock(parent, prefix + ".hlock", false),
+        haddr(parent, prefix + ".haddr", 0),
+        htrans(parent, prefix + ".htrans", raw(Trans::kIdle)),
+        hwrite(parent, prefix + ".hwrite", false),
+        hsize(parent, prefix + ".hsize", raw(Size::kWord)),
+        hburst(parent, prefix + ".hburst", raw(Burst::kSingle)),
+        hwdata(parent, prefix + ".hwdata", 0) {}
+
+  sim::Signal<bool> hbusreq;
+  sim::Signal<bool> hlock;
+  sim::Signal<std::uint32_t> haddr;
+  sim::Signal<std::uint8_t> htrans;
+  sim::Signal<bool> hwrite;
+  sim::Signal<std::uint8_t> hsize;
+  sim::Signal<std::uint8_t> hburst;
+  sim::Signal<std::uint32_t> hwdata;
+};
+
+/// Per-slave response outputs.
+struct SlaveSignals {
+  SlaveSignals(sim::Module* parent, const std::string& prefix)
+      : hrdata(parent, prefix + ".hrdata", 0),
+        hreadyout(parent, prefix + ".hreadyout", true),
+        hresp(parent, prefix + ".hresp", raw(Resp::kOkay)) {}
+
+  sim::Signal<std::uint32_t> hrdata;
+  sim::Signal<bool> hreadyout;
+  sim::Signal<std::uint8_t> hresp;
+};
+
+/// The shared (multiplexed) bus: what every master and slave observes.
+struct BusSignals {
+  BusSignals(sim::Module* parent, const std::string& prefix)
+      : haddr(parent, prefix + ".haddr", 0),
+        htrans(parent, prefix + ".htrans", raw(Trans::kIdle)),
+        hwrite(parent, prefix + ".hwrite", false),
+        hsize(parent, prefix + ".hsize", raw(Size::kWord)),
+        hburst(parent, prefix + ".hburst", raw(Burst::kSingle)),
+        hwdata(parent, prefix + ".hwdata", 0),
+        hrdata(parent, prefix + ".hrdata", 0),
+        hready(parent, prefix + ".hready", true),
+        hresp(parent, prefix + ".hresp", raw(Resp::kOkay)),
+        hmaster(parent, prefix + ".hmaster", 0),
+        hmaster_data(parent, prefix + ".hmaster_data", 0) {}
+
+  /// @name Address/control phase (M2S mux outputs)
+  ///@{
+  sim::Signal<std::uint32_t> haddr;
+  sim::Signal<std::uint8_t> htrans;
+  sim::Signal<bool> hwrite;
+  sim::Signal<std::uint8_t> hsize;
+  sim::Signal<std::uint8_t> hburst;
+  sim::Signal<std::uint32_t> hwdata;  ///< write-data mux output (data phase)
+  ///@}
+
+  /// @name Response path (S2M mux outputs)
+  ///@{
+  sim::Signal<std::uint32_t> hrdata;
+  sim::Signal<bool> hready;
+  sim::Signal<std::uint8_t> hresp;
+  ///@}
+
+  /// @name Arbiter status
+  ///@{
+  sim::Signal<std::uint8_t> hmaster;       ///< address-phase bus owner
+  sim::Signal<std::uint8_t> hmaster_data;  ///< data-phase bus owner
+  ///@}
+};
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,204 @@
+#include "ahb/slave.hpp"
+
+#include "ahb/bus.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::ahb {
+
+using sim::SimError;
+
+// ---------------------------------------------------------------------------
+// AhbSlave
+
+AhbSlave::AhbSlave(sim::Module* parent, std::string name, AhbBus& bus,
+                   std::uint32_t base, std::uint32_t size)
+    : Module(parent, std::move(name)), bus_(bus), sig_(this, "out") {
+  index_ = bus_.attach_slave(sig_, AddressRange{base, size});
+}
+
+bool AhbSlave::selected() const { return bus_.hsel(index_).read(); }
+
+BusSignals& AhbSlave::bus_signals() const { return bus_.bus(); }
+
+sim::Clock& AhbSlave::clock() const { return bus_.clock(); }
+
+// ---------------------------------------------------------------------------
+// MemorySlave
+
+MemorySlave::MemorySlave(sim::Module* parent, std::string name, AhbBus& bus,
+                         Config cfg)
+    : AhbSlave(parent, std::move(name), bus, cfg.base, cfg.size),
+      cfg_(cfg),
+      proc_(this, "clocked", [this] { on_clock(); }) {
+  if (cfg_.size == 0 || cfg_.size % 4 != 0) {
+    throw SimError("MemorySlave: size must be a positive multiple of 4");
+  }
+  proc_.sensitive(clock().posedge_event()).dont_initialize();
+}
+
+std::uint32_t MemorySlave::peek(std::uint32_t addr) const {
+  const auto it = mem_.find(addr / 4);
+  return it == mem_.end() ? 0 : it->second;
+}
+
+void MemorySlave::poke(std::uint32_t addr, std::uint32_t value) {
+  mem_[addr / 4] = value;
+}
+
+void MemorySlave::on_clock() {
+  BusSignals& bus = bus_signals();
+
+  // 1. Complete a data phase that we signalled ready for: a write
+  //    captures HWDATA, which the master drove during the cycle that just
+  //    ended.
+  if (busy_ && completing_) {
+    if (op_write_) {
+      mem_[(op_addr_ - cfg_.base) / 4] = bus.hwdata.read();
+      ++stats_.writes;
+    } else {
+      ++stats_.reads;
+    }
+    busy_ = false;
+    completing_ = false;
+  }
+
+  // 2. Progress wait states of an in-flight data phase.
+  if (busy_ && !completing_) {
+    ++stats_.wait_cycles;
+    if (--waits_left_ == 0) {
+      if (!op_write_) sig_.hrdata.write(peek(op_addr_ - cfg_.base));
+      sig_.hreadyout.write(true);
+      completing_ = true;
+    }
+    return;  // cannot accept a new address phase while stalled
+  }
+
+  // 3. Accept the address phase that was on the bus during the cycle
+  //    that just ended (only valid if the bus was ready).
+  const bool accept = selected() &&
+                      is_active(static_cast<Trans>(bus.htrans.read())) &&
+                      bus.hready.read();
+  if (!accept) return;
+
+  busy_ = true;
+  op_write_ = bus.hwrite.read();
+  op_addr_ = bus.haddr.read();
+  if (cfg_.wait_states == 0) {
+    if (!op_write_) sig_.hrdata.write(peek(op_addr_ - cfg_.base));
+    sig_.hreadyout.write(true);  // already true, but keep the intent clear
+    completing_ = true;
+  } else {
+    waits_left_ = cfg_.wait_states;
+    sig_.hreadyout.write(false);
+    completing_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultySlave
+
+FaultySlave::FaultySlave(sim::Module* parent, std::string name, AhbBus& bus,
+                         Config cfg)
+    : AhbSlave(parent, std::move(name), bus, cfg.base, cfg.size),
+      cfg_(cfg),
+      proc_(this, "clocked", [this] { on_clock(); }) {
+  if (cfg_.size == 0 || cfg_.size % 4 != 0) {
+    throw SimError("FaultySlave: size must be a positive multiple of 4");
+  }
+  if (cfg_.fail_every_n == 0) throw SimError("FaultySlave: fail_every_n must be > 0");
+  if (cfg_.failure != Resp::kRetry && cfg_.failure != Resp::kError) {
+    throw SimError("FaultySlave: failure response must be RETRY or ERROR");
+  }
+  proc_.sensitive(clock().posedge_event()).dont_initialize();
+}
+
+std::uint32_t FaultySlave::peek(std::uint32_t addr) const {
+  const auto it = mem_.find(addr / 4);
+  return it == mem_.end() ? 0 : it->second;
+}
+
+void FaultySlave::on_clock() {
+  BusSignals& bus = bus_signals();
+
+  switch (phase_) {
+    case Phase::kData:
+      // Successful data phase ended at this edge: commit the operation.
+      if (op_write_) {
+        mem_[(op_addr_ - cfg_.base) / 4] = bus.hwdata.read();
+        ++stats_.ok_writes;
+      } else {
+        ++stats_.ok_reads;
+      }
+      phase_ = Phase::kIdle;
+      break;
+    case Phase::kFail1:
+      // First failure cycle (HREADY low, HRESP set) done: raise HREADY.
+      sig_.hreadyout.write(true);
+      phase_ = Phase::kFail2;
+      return;  // cannot accept a new address phase mid-response
+    case Phase::kFail2:
+      // Second failure cycle done: back to OKAY.
+      sig_.hresp.write(raw(Resp::kOkay));
+      ++stats_.failures;
+      phase_ = Phase::kIdle;
+      break;
+    case Phase::kIdle:
+      break;
+  }
+
+  const bool accept = selected() &&
+                      is_active(static_cast<Trans>(bus.htrans.read())) &&
+                      bus.hready.read();
+  if (!accept) return;
+
+  ++accepted_;
+  op_write_ = bus.hwrite.read();
+  op_addr_ = bus.haddr.read();
+  if (accepted_ % cfg_.fail_every_n == 0) {
+    sig_.hresp.write(raw(cfg_.failure));
+    sig_.hreadyout.write(false);
+    phase_ = Phase::kFail1;
+  } else {
+    if (!op_write_) sig_.hrdata.write(peek(op_addr_ - cfg_.base));
+    phase_ = Phase::kData;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DefaultSlave
+
+DefaultSlave::DefaultSlave(sim::Module* parent, std::string name, AhbBus& bus)
+    : AhbSlave(parent, std::move(name), bus, 0, 0),
+      proc_(this, "clocked", [this] { on_clock(); }) {
+  proc_.sensitive(clock().posedge_event()).dont_initialize();
+}
+
+void DefaultSlave::on_clock() {
+  BusSignals& bus = bus_signals();
+
+  if (completing_) {
+    // Second ERROR cycle done; back to the reset response.
+    sig_.hresp.write(raw(Resp::kOkay));
+    completing_ = false;
+    return;
+  }
+  if (erroring_) {
+    // First ERROR cycle (HREADY low) done; raise HREADY, keep ERROR.
+    sig_.hreadyout.write(true);
+    erroring_ = false;
+    completing_ = true;
+    return;
+  }
+
+  // An active transfer decoded into unmapped space: two-cycle ERROR.
+  const bool hit = selected() && is_active(static_cast<Trans>(bus.htrans.read())) &&
+                   bus.hready.read();
+  if (hit) {
+    ++errors_;
+    sig_.hresp.write(raw(Resp::kError));
+    sig_.hreadyout.write(false);
+    erroring_ = true;
+  }
+}
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,145 @@
+#pragma once
+// AHB slaves: abstract base, memory slave with configurable wait states,
+// and the default slave (OKAY to IDLE/BUSY, ERROR to real transfers into
+// unmapped space).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "ahb/signals.hpp"
+#include "sim/clock.hpp"
+#include "sim/module.hpp"
+#include "sim/process.hpp"
+
+namespace ahbp::ahb {
+
+class AhbBus;
+
+/// Base class for bus slaves: owns the response bundle and the
+/// attachment (address range) on the bus.
+class AhbSlave : public sim::Module {
+public:
+  /// Attaches to `bus` at [base, base+size). A size of 0 creates an
+  /// unmapped slave reachable only as the decoder fallback.
+  AhbSlave(sim::Module* parent, std::string name, AhbBus& bus, std::uint32_t base,
+           std::uint32_t size);
+
+  [[nodiscard]] SlaveSignals& signals() { return sig_; }
+  [[nodiscard]] unsigned index() const { return index_; }
+
+protected:
+  /// True when the decoder addresses this slave.
+  [[nodiscard]] bool selected() const;
+  [[nodiscard]] BusSignals& bus_signals() const;
+  [[nodiscard]] sim::Clock& clock() const;
+
+  AhbBus& bus_;
+  SlaveSignals sig_;
+  unsigned index_;
+};
+
+/// A word-wide memory slave.
+///
+/// Supports zero-wait operation or a fixed number of wait states per
+/// transfer. Storage is sparse (unordered map keyed by word address), so
+/// large address ranges cost nothing until touched.
+class MemorySlave final : public AhbSlave {
+public:
+  struct Config {
+    std::uint32_t base = 0;
+    std::uint32_t size = 1024;   ///< bytes
+    unsigned wait_states = 0;    ///< extra cycles per data phase
+  };
+
+  struct Stats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t wait_cycles = 0;
+  };
+
+  MemorySlave(sim::Module* parent, std::string name, AhbBus& bus, Config cfg);
+
+  /// Backdoor access for tests and initialization (word-aligned).
+  [[nodiscard]] std::uint32_t peek(std::uint32_t addr) const;
+  void poke(std::uint32_t addr, std::uint32_t value);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+  void on_clock();
+
+  Config cfg_;
+  Stats stats_;
+  std::unordered_map<std::uint32_t, std::uint32_t> mem_;
+
+  // Data-phase state machine.
+  bool busy_ = false;        ///< a transfer's data phase is in flight
+  bool completing_ = false;  ///< HREADYOUT driven high, op finishes next edge
+  bool op_write_ = false;
+  std::uint32_t op_addr_ = 0;
+  unsigned waits_left_ = 0;
+
+  sim::Method proc_;
+};
+
+/// A fault-injecting memory slave: behaves like a zero-wait MemorySlave
+/// except that every `fail_every_n`-th accepted transfer receives a
+/// two-cycle non-OKAY response (RETRY or ERROR) instead of completing.
+/// RETRYed transfers do not touch memory; the master is expected to
+/// re-issue them (see ScriptedMaster::Options::retry). SPLIT is not
+/// modeled (it requires arbiter-side master masking, out of this
+/// reproduction's scope).
+class FaultySlave final : public AhbSlave {
+public:
+  struct Config {
+    std::uint32_t base = 0;
+    std::uint32_t size = 1024;
+    unsigned fail_every_n = 3;   ///< 1 = every transfer fails
+    Resp failure = Resp::kRetry; ///< kRetry or kError
+  };
+
+  struct Stats {
+    std::uint64_t ok_reads = 0;
+    std::uint64_t ok_writes = 0;
+    std::uint64_t failures = 0;
+  };
+
+  FaultySlave(sim::Module* parent, std::string name, AhbBus& bus, Config cfg);
+
+  [[nodiscard]] std::uint32_t peek(std::uint32_t addr) const;
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+  void on_clock();
+
+  Config cfg_;
+  Stats stats_;
+  std::unordered_map<std::uint32_t, std::uint32_t> mem_;
+  std::uint64_t accepted_ = 0;
+
+  enum class Phase { kIdle, kData, kFail1, kFail2 } phase_ = Phase::kIdle;
+  bool op_write_ = false;
+  std::uint32_t op_addr_ = 0;
+
+  sim::Method proc_;
+};
+
+/// The default slave: unmapped addresses land here. IDLE and BUSY get a
+/// zero-wait OKAY; NONSEQ/SEQ get the protocol's two-cycle ERROR.
+class DefaultSlave final : public AhbSlave {
+public:
+  DefaultSlave(sim::Module* parent, std::string name, AhbBus& bus);
+
+  [[nodiscard]] std::uint64_t error_count() const { return errors_; }
+
+private:
+  void on_clock();
+
+  bool erroring_ = false;  ///< in the first ERROR cycle
+  bool completing_ = false;
+  std::uint64_t errors_ = 0;
+  sim::Method proc_;
+};
+
+}  // namespace ahbp::ahb

@@ -1,0 +1,56 @@
+#include "ahb/types.hpp"
+
+#include <ostream>
+
+namespace ahbp::ahb {
+
+const char* to_string(Trans t) {
+  switch (t) {
+    case Trans::kIdle: return "IDLE";
+    case Trans::kBusy: return "BUSY";
+    case Trans::kNonSeq: return "NONSEQ";
+    case Trans::kSeq: return "SEQ";
+  }
+  return "?";
+}
+
+const char* to_string(Burst b) {
+  switch (b) {
+    case Burst::kSingle: return "SINGLE";
+    case Burst::kIncr: return "INCR";
+    case Burst::kWrap4: return "WRAP4";
+    case Burst::kIncr4: return "INCR4";
+    case Burst::kWrap8: return "WRAP8";
+    case Burst::kIncr8: return "INCR8";
+    case Burst::kWrap16: return "WRAP16";
+    case Burst::kIncr16: return "INCR16";
+  }
+  return "?";
+}
+
+const char* to_string(Resp r) {
+  switch (r) {
+    case Resp::kOkay: return "OKAY";
+    case Resp::kError: return "ERROR";
+    case Resp::kRetry: return "RETRY";
+    case Resp::kSplit: return "SPLIT";
+  }
+  return "?";
+}
+
+const char* to_string(Size s) {
+  switch (s) {
+    case Size::kByte: return "BYTE";
+    case Size::kHalfword: return "HALFWORD";
+    case Size::kWord: return "WORD";
+    case Size::kDword: return "DWORD";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Trans t) { return os << to_string(t); }
+std::ostream& operator<<(std::ostream& os, Burst b) { return os << to_string(b); }
+std::ostream& operator<<(std::ostream& os, Resp r) { return os << to_string(r); }
+std::ostream& operator<<(std::ostream& os, Size s) { return os << to_string(s); }
+
+}  // namespace ahbp::ahb

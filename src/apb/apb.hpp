@@ -1,0 +1,9 @@
+#pragma once
+// Umbrella header for ahbp::apb -- the AMBA APB peripheral bus:
+// AHB-to-APB bridge, peripherals (register file, timer) and the power
+// methodology extended to the second bus typology.
+
+#include "apb/bridge.hpp"
+#include "apb/peripherals.hpp"
+#include "apb/power.hpp"
+#include "apb/signals.hpp"

@@ -1,0 +1,177 @@
+#include "apb/peripherals.hpp"
+
+#include "ahb/bus.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::apb {
+
+using sim::SimError;
+
+// ---------------------------------------------------------------------------
+// ApbSlave
+
+ApbSlave::ApbSlave(sim::Module* parent, std::string name, AhbToApbBridge& bridge,
+                   std::uint32_t base, std::uint32_t size)
+    : Module(parent, std::move(name)),
+      bridge_(bridge),
+      sig_(this, "out"),
+      base_(base),
+      proc_(this, "clocked", [this] { on_clock(); }) {
+  index_ = bridge_.attach(sig_, base, size);
+  proc_.sensitive(clock().posedge_event()).dont_initialize();
+}
+
+sim::Clock& ApbSlave::clock() const { return bridge_.clock(); }
+
+void ApbSlave::on_clock() {
+  const ApbMasterSignals& m = bridge_.apb();
+  const bool sel = bridge_.psel(index_).read();
+  const bool enable = m.penable.read();
+
+  if (sel && !enable) {
+    // SETUP cycle just started (PSEL rose last cycle): present read data
+    // so it is stable through the ENABLE cycle.
+    if (!m.pwrite.read()) {
+      sig_.prdata.write(read_reg(m.paddr.read() - base_));
+    }
+    enable_seen_ = false;
+  } else if (sel && enable && !enable_seen_) {
+    // End of the ENABLE cycle: commit a write exactly once.
+    if (m.pwrite.read()) {
+      write_reg(m.paddr.read() - base_, m.pwdata.read());
+    }
+    enable_seen_ = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ApbRegisterFile
+
+ApbRegisterFile::ApbRegisterFile(sim::Module* parent, std::string name,
+                                 AhbToApbBridge& bridge, std::uint32_t base,
+                                 std::uint32_t size)
+    : ApbSlave(parent, std::move(name), bridge, base, size), regs_(size / 4, 0) {
+  if (size == 0 || size % 4 != 0) {
+    throw SimError("ApbRegisterFile: size must be a positive multiple of 4");
+  }
+}
+
+std::uint32_t ApbRegisterFile::peek(std::uint32_t offset) const {
+  return regs_.at(offset / 4);
+}
+
+void ApbRegisterFile::poke(std::uint32_t offset, std::uint32_t value) {
+  regs_.at(offset / 4) = value;
+}
+
+std::uint32_t ApbRegisterFile::read_reg(std::uint32_t offset) {
+  return offset / 4 < regs_.size() ? regs_[offset / 4] : 0;
+}
+
+void ApbRegisterFile::write_reg(std::uint32_t offset, std::uint32_t value) {
+  if (offset / 4 < regs_.size()) regs_[offset / 4] = value;
+}
+
+// ---------------------------------------------------------------------------
+// ApbTimer
+
+ApbTimer::ApbTimer(sim::Module* parent, std::string name, AhbToApbBridge& bridge,
+                   std::uint32_t base)
+    : ApbSlave(parent, std::move(name), bridge, base, 0x10),
+      tick_proc_(this, "tick", [this] { tick(); }) {
+  tick_proc_.sensitive(clock().posedge_event()).dont_initialize();
+}
+
+void ApbTimer::tick() {
+  if (!enabled_) return;
+  ++count_;
+  if (count_ == compare_) matched_ = true;
+}
+
+std::uint32_t ApbTimer::read_reg(std::uint32_t offset) {
+  switch (offset) {
+    case kCtrl: return enabled_ ? 1u : 0u;
+    case kCount: return count_;
+    case kCompare: return compare_;
+    case kStatus: return matched_ ? 1u : 0u;
+    default: return 0;
+  }
+}
+
+void ApbTimer::write_reg(std::uint32_t offset, std::uint32_t value) {
+  switch (offset) {
+    case kCtrl:
+      enabled_ = (value & 1u) != 0;
+      if ((value & 2u) != 0) count_ = 0;
+      break;
+    case kCompare:
+      compare_ = value;
+      break;
+    case kStatus:
+      if ((value & 1u) != 0) matched_ = false;
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ApbUartTx
+
+ApbUartTx::ApbUartTx(sim::Module* parent, std::string name, AhbToApbBridge& bridge,
+                     std::uint32_t base)
+    : ApbSlave(parent, std::move(name), bridge, base, 0x10),
+      tx_(this, "tx", true),  // idle high
+      shift_proc_(this, "shift", [this] { shift(); }) {
+  shift_proc_.sensitive(clock().posedge_event()).dont_initialize();
+}
+
+void ApbUartTx::shift() {
+  // Divider cadence: bits change only on bit boundaries, so the stop bit
+  // keeps its full width even with a frame queued behind it.
+  if (div_count_ != 0) {
+    if (++div_count_ >= divider_) div_count_ = 0;
+    return;
+  }
+  if (bits_left_ == 0) {
+    if (fifo_.empty()) return;  // line idles high between frames
+    const std::uint8_t byte = fifo_.front();
+    fifo_.pop_front();
+    // LSB-first frame, shifted out from bit 0: start(0), data, stop(1).
+    shifter_ = static_cast<std::uint16_t>((1u << 9) | (byte << 1));
+    bits_left_ = 10;
+  }
+  tx_.write((shifter_ & 1u) != 0);
+  shifter_ >>= 1;
+  --bits_left_;
+  if (bits_left_ == 0) ++bytes_sent_;
+  if (divider_ > 1) div_count_ = 1;
+}
+
+std::uint32_t ApbUartTx::read_reg(std::uint32_t offset) {
+  switch (offset) {
+    case kData: return static_cast<std::uint32_t>(fifo_.size());
+    case kStatus:
+      return (busy() || !fifo_.empty() ? 1u : 0u) |
+             (fifo_.size() >= kFifoDepth ? 2u : 0u);
+    case kDiv: return divider_;
+    default: return 0;
+  }
+}
+
+void ApbUartTx::write_reg(std::uint32_t offset, std::uint32_t value) {
+  switch (offset) {
+    case kData:
+      if (fifo_.size() < kFifoDepth) {
+        fifo_.push_back(static_cast<std::uint8_t>(value));
+      }
+      break;
+    case kDiv:
+      divider_ = value == 0 ? 1 : value;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace ahbp::apb

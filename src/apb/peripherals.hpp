@@ -1,0 +1,141 @@
+#pragma once
+// APB peripherals: the slave base class plus two reference devices (a
+// register file and a timer) of the kind that populate the peripheral
+// bus in the paper's AMBA system picture.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "apb/bridge.hpp"
+#include "sim/process.hpp"
+
+namespace ahbp::apb {
+
+/// Base class for APB peripherals.
+///
+/// The base owns the PRDATA bundle and the attachment to the bridge, and
+/// runs the APB slave-side protocol: at the SETUP edge it asks the
+/// subclass for read data; at the end of the ENABLE cycle it delivers a
+/// write. Subclasses implement the two register hooks.
+class ApbSlave : public sim::Module {
+public:
+  ApbSlave(sim::Module* parent, std::string name, AhbToApbBridge& bridge,
+           std::uint32_t base, std::uint32_t size);
+
+  [[nodiscard]] unsigned index() const { return index_; }
+
+protected:
+  /// Peripheral-relative register read (called during SETUP).
+  [[nodiscard]] virtual std::uint32_t read_reg(std::uint32_t offset) = 0;
+  /// Peripheral-relative register write (committed at ENABLE end).
+  virtual void write_reg(std::uint32_t offset, std::uint32_t value) = 0;
+
+  /// The bus clock, for subclasses with their own sequential logic.
+  [[nodiscard]] sim::Clock& clock() const;
+
+  AhbToApbBridge& bridge_;
+  ApbSlaveSignals sig_;
+  unsigned index_;
+  std::uint32_t base_;
+
+private:
+  void on_clock();
+
+  bool enable_seen_ = false;
+  sim::Method proc_;
+};
+
+/// A plain register file (word-addressed scratch registers).
+class ApbRegisterFile final : public ApbSlave {
+public:
+  ApbRegisterFile(sim::Module* parent, std::string name, AhbToApbBridge& bridge,
+                  std::uint32_t base, std::uint32_t size);
+
+  /// Backdoor access for tests.
+  [[nodiscard]] std::uint32_t peek(std::uint32_t offset) const;
+  void poke(std::uint32_t offset, std::uint32_t value);
+
+protected:
+  std::uint32_t read_reg(std::uint32_t offset) override;
+  void write_reg(std::uint32_t offset, std::uint32_t value) override;
+
+private:
+  std::vector<std::uint32_t> regs_;
+};
+
+/// A timer peripheral:
+///   0x0 CTRL   bit0 = enable, bit1 = clear (write-one-to-clear)
+///   0x4 COUNT  free-running cycle counter (read-only)
+///   0x8 COMPARE  match value; MATCHED flag latches when COUNT == COMPARE
+///   0xC STATUS bit0 = matched (write-one-to-clear)
+class ApbTimer final : public ApbSlave {
+public:
+  static constexpr std::uint32_t kCtrl = 0x0;
+  static constexpr std::uint32_t kCount = 0x4;
+  static constexpr std::uint32_t kCompare = 0x8;
+  static constexpr std::uint32_t kStatus = 0xC;
+
+  ApbTimer(sim::Module* parent, std::string name, AhbToApbBridge& bridge,
+           std::uint32_t base);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+  [[nodiscard]] bool matched() const { return matched_; }
+
+protected:
+  std::uint32_t read_reg(std::uint32_t offset) override;
+  void write_reg(std::uint32_t offset, std::uint32_t value) override;
+
+private:
+  void tick();
+
+  bool enabled_ = false;
+  bool matched_ = false;
+  std::uint32_t count_ = 0;
+  std::uint32_t compare_ = 0;
+  sim::Method tick_proc_;
+};
+
+/// A UART transmitter:
+///   0x0 DATA    write = enqueue one byte (FIFO depth 8); read = FIFO level
+///   0x4 STATUS  bit0 = busy (shifting), bit1 = FIFO full
+///   0x8 DIV     clock divider (bus clocks per bit, >= 1)
+/// Serial format: 1 start bit (low), 8 data bits LSB first, 1 stop bit
+/// (high). The TX line idles high and is observable as a Signal<bool>
+/// (trace it into a VCD to see real frames).
+class ApbUartTx final : public ApbSlave {
+public:
+  static constexpr std::uint32_t kData = 0x0;
+  static constexpr std::uint32_t kStatus = 0x4;
+  static constexpr std::uint32_t kDiv = 0x8;
+  static constexpr std::size_t kFifoDepth = 8;
+
+  ApbUartTx(sim::Module* parent, std::string name, AhbToApbBridge& bridge,
+            std::uint32_t base);
+
+  /// The serial output line.
+  [[nodiscard]] sim::Signal<bool>& tx() { return tx_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] bool busy() const { return bits_left_ != 0; }
+  [[nodiscard]] std::size_t fifo_level() const { return fifo_.size(); }
+
+protected:
+  std::uint32_t read_reg(std::uint32_t offset) override;
+  void write_reg(std::uint32_t offset, std::uint32_t value) override;
+
+private:
+  void shift();
+
+  sim::Signal<bool> tx_;
+  std::deque<std::uint8_t> fifo_;
+  std::uint32_t divider_ = 8;
+  std::uint32_t div_count_ = 0;
+  std::uint16_t shifter_ = 0;  ///< start + data + stop bits
+  unsigned bits_left_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  sim::Method shift_proc_;
+};
+
+}  // namespace ahbp::apb

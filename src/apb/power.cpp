@@ -1,0 +1,61 @@
+#include "apb/power.hpp"
+
+#include "sim/report.hpp"
+
+namespace ahbp::apb {
+
+ApbPowerModel::ApbPowerModel(unsigned n_peripherals, gate::Technology tech)
+    : tech_(tech) {
+  if (n_peripherals == 0) {
+    throw sim::SimError("ApbPowerModel: need at least one peripheral");
+  }
+  // Each data/address wire drives one input pin per peripheral plus the
+  // route itself (modeled as c_out-class load).
+  c_wire_ = tech.c_out + n_peripherals * tech.c_in;
+  // Strobes fan out the same way.
+  c_strobe_ = tech.c_out + n_peripherals * tech.c_in;
+}
+
+double ApbPowerModel::energy(unsigned hd_data, unsigned hd_strobes) const {
+  const double vdd2_2 = tech_.vdd * tech_.vdd / 2.0;
+  return vdd2_2 * (c_wire_ * hd_data + c_strobe_ * hd_strobes);
+}
+
+ApbPowerMonitor::ApbPowerMonitor(sim::Module* parent, std::string name,
+                                 AhbToApbBridge& bridge)
+    : ApbPowerMonitor(parent, std::move(name), bridge,
+                      gate::Technology::default_2003()) {}
+
+ApbPowerMonitor::ApbPowerMonitor(sim::Module* parent, std::string name,
+                                 AhbToApbBridge& bridge, gate::Technology tech)
+    : Module(parent, std::move(name)),
+      bridge_(bridge),
+      model_(bridge.n_peripherals() == 0 ? 1 : bridge.n_peripherals(), tech),
+      proc_(this, "sample", [this] { on_cycle(); }) {
+  proc_.sensitive(bridge.clock().negedge_event()).dont_initialize();
+}
+
+void ApbPowerMonitor::on_cycle() {
+  ++cycles_;
+  const ApbMasterSignals& m = bridge_.apb();
+  const unsigned hd_addr = activity_.channel("paddr").store_activity(m.paddr.read());
+  const unsigned hd_wdata =
+      activity_.channel("pwdata").store_activity(m.pwdata.read());
+  // PRDATA switching, per peripheral driver.
+  unsigned hd_rdata = 0;
+  for (unsigned s = 0; s < bridge_.n_peripherals(); ++s) {
+    hd_rdata += activity_.channel("prdata" + std::to_string(s))
+                    .store_activity(bridge_.peripheral(s).prdata.read());
+  }
+  // Strobe bundle: PENABLE, PWRITE and the PSEL lines.
+  std::uint64_t strobes = m.penable.read() ? 1u : 0u;
+  strobes |= m.pwrite.read() ? 2u : 0u;
+  for (unsigned s = 0; s < bridge_.n_peripherals(); ++s) {
+    strobes |= (bridge_.psel(s).read() ? 1ull : 0ull) << (2 + s);
+  }
+  const unsigned hd_strobes =
+      activity_.channel("strobes").store_activity(strobes);
+  energy_ += model_.energy(hd_addr + hd_wdata + hd_rdata, hd_strobes);
+}
+
+}  // namespace ahbp::apb

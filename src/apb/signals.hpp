@@ -1,0 +1,38 @@
+#pragma once
+// APB (Advanced Peripheral Bus, AMBA rev 2.0) signal bundles.
+//
+// APB2 is the low-bandwidth peripheral bus of the AMBA architecture: one
+// bus master (the AHB-to-APB bridge), strobed two-cycle accesses
+// (SETUP: PSEL & !PENABLE, ENABLE: PSEL & PENABLE), no wait states.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/module.hpp"
+#include "sim/signal.hpp"
+
+namespace ahbp::apb {
+
+/// Signals driven by the APB master (the bridge).
+struct ApbMasterSignals {
+  ApbMasterSignals(sim::Module* parent, const std::string& prefix)
+      : paddr(parent, prefix + ".paddr", 0),
+        pwrite(parent, prefix + ".pwrite", false),
+        penable(parent, prefix + ".penable", false),
+        pwdata(parent, prefix + ".pwdata", 0) {}
+
+  sim::Signal<std::uint32_t> paddr;
+  sim::Signal<bool> pwrite;
+  sim::Signal<bool> penable;
+  sim::Signal<std::uint32_t> pwdata;
+};
+
+/// Signals driven by one APB slave.
+struct ApbSlaveSignals {
+  ApbSlaveSignals(sim::Module* parent, const std::string& prefix)
+      : prdata(parent, prefix + ".prdata", 0) {}
+
+  sim::Signal<std::uint32_t> prdata;
+};
+
+}  // namespace ahbp::apb

@@ -1,0 +1,239 @@
+#include "charlib/characterize.hpp"
+
+#include <cmath>
+
+#include "gate/gatesim.hpp"
+#include "gate/synth.hpp"
+#include "power/activity.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::charlib {
+
+using power::hamming;
+using sim::SimError;
+
+namespace {
+
+/// Folds |model - ref| statistics over paired energy series.
+ModelAccuracy accuracy(const std::vector<double>& model,
+                       const std::vector<double>& ref) {
+  ModelAccuracy a;
+  double abs_err = 0.0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    abs_err += std::fabs(model[i] - ref[i]);
+    a.total_energy_model += model[i];
+    a.total_energy_ref += ref[i];
+  }
+  const auto n = static_cast<double>(model.size());
+  a.mean_abs_error = n > 0 ? abs_err / n : 0.0;
+  const double mean_ref = n > 0 ? a.total_energy_ref / n : 0.0;
+  a.mean_rel_error = mean_ref > 0 ? a.mean_abs_error / mean_ref : 0.0;
+  return a;
+}
+
+void drive_word(gate::GateSim& simu, const std::vector<gate::NetId>& pins,
+                std::uint64_t value) {
+  for (std::size_t b = 0; b < pins.size(); ++b) {
+    simu.set_input(pins[b], (value >> b & 1u) != 0);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Decoder
+
+DecoderCharacterization characterize_decoder(unsigned n_outputs, unsigned n_samples,
+                                             std::uint64_t seed,
+                                             gate::Technology tech) {
+  if (n_samples < 8) throw SimError("characterize_decoder: too few samples");
+  DecoderCharacterization out;
+  out.n_outputs = n_outputs;
+
+  gate::DecoderNetlist dec = gate::build_onehot_decoder(n_outputs);
+  gate::GateSim simu(dec.nl, tech);
+  power::DecoderModel paper(n_outputs, tech);
+
+  const unsigned bits = static_cast<unsigned>(dec.addr.size());
+  StimulusGen uniform(StimulusGen::Profile::kUniform, bits, seed);
+  StimulusGen low(StimulusGen::Profile::kLowActivity, bits, seed + 1);
+
+  std::uint64_t prev = 0;
+  drive_word(simu, dec.addr, prev);
+  simu.eval();
+  simu.reset_accounting();
+
+  std::vector<double> model_e, ref_e;
+  for (unsigned i = 0; i < n_samples; ++i) {
+    // Mix activity regimes so the fit sees the whole HD range.
+    const std::uint64_t cur = (i % 2 == 0) ? uniform.next() : low.next();
+    drive_word(simu, dec.addr, cur);
+    simu.reset_accounting();
+    simu.eval();
+    const double e = simu.energy();
+    const unsigned hd = hamming(prev, cur);
+    out.samples.push_back(Sample{{static_cast<double>(hd)}, e});
+    model_e.push_back(paper.energy(hd));
+    ref_e.push_back(e);
+    prev = cur;
+  }
+
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (const Sample& s : out.samples) {
+    x.push_back(s.features);
+    y.push_back(s.energy);
+  }
+  out.fit = fit_linear(x, y);
+  out.paper_model = accuracy(model_e, ref_e);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Mux
+
+MuxCharacterization characterize_mux(unsigned width, unsigned n_inputs,
+                                     unsigned n_samples, std::uint64_t seed,
+                                     gate::Technology tech) {
+  if (n_samples < 16) throw SimError("characterize_mux: too few samples");
+  MuxCharacterization out;
+  out.width = width;
+  out.n_inputs = n_inputs;
+
+  gate::MuxNetlist mux = gate::build_mux(width, n_inputs);
+  gate::GateSim simu(mux.nl, tech);
+
+  std::mt19937_64 rng(seed);
+  StimulusGen data_gen(StimulusGen::Profile::kUniform, width, seed + 2);
+  StimulusGen low_gen(StimulusGen::Profile::kLowActivity, width, seed + 3);
+
+  std::vector<std::uint64_t> data(n_inputs, 0);
+  unsigned sel = 0;
+  std::uint64_t prev_out = 0;
+
+  for (unsigned i = 0; i < n_inputs; ++i) drive_word(simu, mux.data[i], 0);
+  drive_word(simu, mux.sel, 0);
+  simu.eval();
+  simu.reset_accounting();
+
+  power::MuxModel default_model(width, n_inputs, tech);
+  std::vector<double> def_e, ref_e;
+
+  for (unsigned s = 0; s < n_samples; ++s) {
+    // Randomly change the selected input's data, occasionally the select.
+    const unsigned prev_sel = sel;
+    if (rng() % 4 == 0) sel = static_cast<unsigned>(rng() % n_inputs);
+    const std::uint64_t new_word = (s % 2 == 0) ? data_gen.next() : low_gen.next();
+    const unsigned victim = sel;
+    const unsigned hd_in = hamming(data[victim], new_word);
+    data[victim] = new_word;
+
+    drive_word(simu, mux.data[victim], new_word);
+    drive_word(simu, mux.sel, sel);
+    simu.reset_accounting();
+    simu.eval();
+    const double e = simu.energy();
+
+    std::uint64_t cur_out = 0;
+    for (unsigned b = 0; b < width; ++b) {
+      if (simu.value(mux.out[b])) cur_out |= 1ull << b;
+    }
+    const unsigned hd_sel = hamming(prev_sel, sel);
+    const unsigned hd_out = hamming(prev_out, cur_out);
+    prev_out = cur_out;
+
+    out.samples.push_back(Sample{{static_cast<double>(hd_in),
+                                  static_cast<double>(hd_sel),
+                                  static_cast<double>(hd_out)},
+                                 e});
+    def_e.push_back(default_model.energy(hd_in, hd_sel, hd_out));
+    ref_e.push_back(e);
+  }
+
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (const Sample& smp : out.samples) {
+    x.push_back(smp.features);
+    y.push_back(smp.energy);
+  }
+  out.fit = fit_linear(x, y);
+
+  // Map the fitted linear coefficients back into MuxModel's structural
+  // form: E = vdd^2/4 * c_node * (k_in*HD_IN + k_sel*w*HD_SEL + k_out*HD_OUT*(c_out/c_node)).
+  const double unit = tech.vdd * tech.vdd / 4.0 * tech.c_node;
+  out.calibrated.k_in = out.fit.coefficients[1] / unit;
+  out.calibrated.k_sel = out.fit.coefficients[2] / (unit * width);
+  out.calibrated.k_out = out.fit.coefficients[3] / (unit * (tech.c_out / tech.c_node));
+
+  power::MuxModel fitted(width, n_inputs, tech, out.calibrated);
+  std::vector<double> fit_e;
+  for (const Sample& smp : out.samples) {
+    fit_e.push_back(fitted.energy(static_cast<unsigned>(smp.features[0]),
+                                  static_cast<unsigned>(smp.features[1]),
+                                  static_cast<unsigned>(smp.features[2])));
+  }
+  out.default_model = accuracy(def_e, ref_e);
+  out.fitted_model = accuracy(fit_e, ref_e);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Arbiter
+
+ArbiterCharacterization characterize_arbiter(unsigned n_masters, unsigned n_cycles,
+                                             std::uint64_t seed,
+                                             gate::Technology tech) {
+  if (n_cycles < 16) throw SimError("characterize_arbiter: too few cycles");
+  ArbiterCharacterization out;
+  out.n_masters = n_masters;
+
+  gate::ArbiterNetlist arb = gate::build_priority_arbiter(n_masters);
+  gate::GateSim simu(arb.nl, tech);
+  power::ArbiterFsmModel fsm_model(n_masters, tech);
+
+  std::mt19937_64 rng(seed);
+  std::uint32_t prev_req = 0;
+  unsigned prev_grant = 0;
+
+  std::vector<double> model_e, ref_e;
+  for (unsigned c = 0; c < n_cycles; ++c) {
+    // Sticky random requests: each line flips with probability 1/4.
+    std::uint32_t req = prev_req;
+    for (unsigned m = 0; m < n_masters; ++m) {
+      if (rng() % 4 == 0) req ^= 1u << m;
+    }
+    for (unsigned m = 0; m < n_masters; ++m) {
+      simu.set_input(arb.req[m], (req >> m & 1u) != 0);
+    }
+    simu.reset_accounting();
+    simu.tick();
+    const double e = simu.energy();
+
+    unsigned grant = 0;
+    for (unsigned m = 0; m < n_masters; ++m) {
+      if (simu.value(arb.grant[m])) grant = m;
+    }
+    const bool handover = grant != prev_grant;
+    const unsigned hd_req = hamming(prev_req, req);
+
+    out.samples.push_back(Sample{{static_cast<double>(hd_req),
+                                  handover ? 1.0 : 0.0},
+                                 e});
+    model_e.push_back(fsm_model.energy(hd_req, handover));
+    ref_e.push_back(e);
+    prev_req = req;
+    prev_grant = grant;
+  }
+
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (const Sample& smp : out.samples) {
+    x.push_back(smp.features);
+    y.push_back(smp.energy);
+  }
+  out.fit = fit_linear(x, y);
+  out.fsm_model = accuracy(model_e, ref_e);
+  return out;
+}
+
+}  // namespace ahbp::charlib

@@ -1,0 +1,8 @@
+#pragma once
+// Umbrella header for ahbp::charlib -- the IP characterization flow
+// (stimulus generation, gate-level sampling, least-squares fitting).
+
+#include "charlib/characterize.hpp"
+#include "charlib/fit.hpp"
+#include "charlib/stimulus.hpp"
+#include "charlib/table.hpp"

@@ -1,0 +1,94 @@
+#include "charlib/fit.hpp"
+
+#include <cmath>
+
+#include "sim/report.hpp"
+
+namespace ahbp::charlib {
+
+using sim::SimError;
+
+std::vector<double> solve_linear_system(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) throw SimError("solve_linear_system: shape mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw SimError("solve_linear_system: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[pivot * n + c], a[col * n + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] / a[col * n + col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a[i * n + c] * x[c];
+    x[i] = s / a[i * n + i];
+  }
+  return x;
+}
+
+FitResult fit_linear(const std::vector<std::vector<double>>& features,
+                     const std::vector<double>& y) {
+  const std::size_t m = y.size();
+  if (features.size() != m) throw SimError("fit_linear: sample count mismatch");
+  if (m == 0) throw SimError("fit_linear: no samples");
+  const std::size_t k = features[0].size() + 1;  // + intercept
+  if (m < k) throw SimError("fit_linear: underdetermined fit");
+  for (const auto& row : features) {
+    if (row.size() + 1 != k) throw SimError("fit_linear: ragged feature rows");
+  }
+
+  // Normal equations: (X^T X) c = X^T y with X = [1 | features].
+  std::vector<double> xtx(k * k, 0.0);
+  std::vector<double> xty(k, 0.0);
+  auto x_at = [&](std::size_t row, std::size_t col) -> double {
+    return col == 0 ? 1.0 : features[row][col - 1];
+  };
+  for (std::size_t s = 0; s < m; ++s) {
+    for (std::size_t i = 0; i < k; ++i) {
+      xty[i] += x_at(s, i) * y[s];
+      for (std::size_t j = 0; j < k; ++j) xtx[i * k + j] += x_at(s, i) * x_at(s, j);
+    }
+  }
+
+  FitResult res;
+  res.coefficients = solve_linear_system(std::move(xtx), std::move(xty));
+  res.samples = m;
+
+  // Goodness of fit.
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(m);
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (std::size_t s = 0; s < m; ++s) {
+    double pred = res.coefficients[0];
+    for (std::size_t i = 1; i < k; ++i) pred += res.coefficients[i] * x_at(s, i);
+    const double r = y[s] - pred;
+    ss_res += r * r;
+    ss_tot += (y[s] - mean) * (y[s] - mean);
+    res.max_abs_residual = std::max(res.max_abs_residual, std::fabs(r));
+  }
+  res.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return res;
+}
+
+}  // namespace ahbp::charlib

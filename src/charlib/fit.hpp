@@ -1,0 +1,36 @@
+#pragma once
+// Ordinary least squares for macromodel fitting.
+//
+// The characterization flow collects (activity features -> measured
+// energy) samples from gate-level reference simulations and fits the
+// activity-linear model family used by ahbp::power. Solved via the
+// normal equations with Gaussian elimination -- fine for the handful of
+// features these models have.
+
+#include <vector>
+
+namespace ahbp::charlib {
+
+/// Result of a least-squares fit.
+struct FitResult {
+  /// coefficients[0] is the intercept; [i] multiplies feature i-1.
+  std::vector<double> coefficients;
+  double r_squared = 0.0;       ///< coefficient of determination
+  double max_abs_residual = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Fits y ~ c0 + sum_i c_i x_i.
+///
+/// `features` holds one row per sample; all rows must have equal length.
+/// Requires more samples than unknowns and a non-singular design matrix;
+/// throws sim::SimError otherwise.
+[[nodiscard]] FitResult fit_linear(const std::vector<std::vector<double>>& features,
+                                   const std::vector<double>& y);
+
+/// Solves the dense linear system A x = b (Gaussian elimination with
+/// partial pivoting). A is row-major n x n. Throws on singular systems.
+[[nodiscard]] std::vector<double> solve_linear_system(std::vector<double> a,
+                                                      std::vector<double> b);
+
+}  // namespace ahbp::charlib

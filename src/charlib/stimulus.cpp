@@ -1,0 +1,27 @@
+#include "charlib/stimulus.hpp"
+
+namespace ahbp::charlib {
+
+std::uint64_t StimulusGen::next() {
+  switch (profile_) {
+    case Profile::kUniform:
+      state_ = rng_() & mask();
+      break;
+    case Profile::kLowActivity:
+      state_ ^= 1ull << (rng_() % width_);
+      break;
+    case Profile::kHighActivity:
+      state_ = ~state_ & mask();
+      break;
+    case Profile::kWalkingOne:
+      state_ = 1ull << (step_ % width_);
+      break;
+    case Profile::kSparse:
+      if (rng_() % 8 == 0) state_ = rng_() & mask();
+      break;
+  }
+  ++step_;
+  return state_ & mask();
+}
+
+}  // namespace ahbp::charlib

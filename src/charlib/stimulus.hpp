@@ -1,0 +1,47 @@
+#pragma once
+// Stimulus generators for IP characterization.
+//
+// The paper notes "it is very important to provide a complete set of
+// testbenches to be able to observe all the different activity states of
+// the system". These generators produce word streams with controlled
+// switching statistics so characterization covers low-, mixed- and
+// high-activity regimes.
+
+#include <cstdint>
+#include <random>
+
+namespace ahbp::charlib {
+
+/// Successive-word generator with a selectable activity profile.
+class StimulusGen {
+public:
+  enum class Profile {
+    kUniform,      ///< independent uniform words (mean HD = width/2)
+    kLowActivity,  ///< flip ~1 bit per step
+    kHighActivity, ///< flip ~all bits per step (alternating complement)
+    kWalkingOne,   ///< a single 1 walking across the word
+    kSparse,       ///< mostly repeats, occasional random jump
+  };
+
+  StimulusGen(Profile profile, unsigned width, std::uint64_t seed)
+      : profile_(profile), width_(width), rng_(seed) {}
+
+  /// Next word in the stream (masked to `width` bits).
+  [[nodiscard]] std::uint64_t next();
+
+  [[nodiscard]] unsigned width() const { return width_; }
+  [[nodiscard]] Profile profile() const { return profile_; }
+
+private:
+  [[nodiscard]] std::uint64_t mask() const {
+    return width_ >= 64 ? ~0ull : (1ull << width_) - 1;
+  }
+
+  Profile profile_;
+  unsigned width_;
+  std::mt19937_64 rng_;
+  std::uint64_t state_ = 0;
+  unsigned step_ = 0;
+};
+
+}  // namespace ahbp::charlib

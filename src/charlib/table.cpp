@@ -1,0 +1,99 @@
+#include "charlib/table.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/report.hpp"
+
+namespace ahbp::charlib {
+
+using sim::SimError;
+
+void CoefficientTable::set(const std::string& block, const std::string& key,
+                           double value) {
+  if (block.empty() || key.empty()) {
+    throw SimError("CoefficientTable: empty block or key");
+  }
+  if (block.find_first_of(" .=\n") != std::string::npos ||
+      key.find_first_of(" .=\n") != std::string::npos) {
+    throw SimError("CoefficientTable: block/key must not contain ' ', '.', '='");
+  }
+  values_[{block, key}] = value;
+}
+
+bool CoefficientTable::has(const std::string& block, const std::string& key) const {
+  return values_.count({block, key}) != 0;
+}
+
+double CoefficientTable::get(const std::string& block, const std::string& key,
+                             double fallback) const {
+  const auto it = values_.find({block, key});
+  return it == values_.end() ? fallback : it->second;
+}
+
+void CoefficientTable::store_mux(const std::string& block,
+                                 const MuxCharacterization& c) {
+  set(block, "k_in", c.calibrated.k_in);
+  set(block, "k_sel", c.calibrated.k_sel);
+  set(block, "k_out", c.calibrated.k_out);
+  set(block, "width", c.width);
+  set(block, "n_inputs", c.n_inputs);
+  set(block, "fit_r2", c.fit.r_squared);
+}
+
+power::MuxModel::Coefficients CoefficientTable::mux_coefficients(
+    const std::string& block) const {
+  const power::MuxModel::Coefficients defaults{};
+  power::MuxModel::Coefficients k;
+  k.k_in = get(block, "k_in", defaults.k_in);
+  k.k_sel = get(block, "k_sel", defaults.k_sel);
+  k.k_out = get(block, "k_out", defaults.k_out);
+  return k;
+}
+
+void CoefficientTable::store_decoder(const std::string& block,
+                                     const DecoderCharacterization& c) {
+  set(block, "e0", c.fit.coefficients.at(0));
+  set(block, "e_per_hd", c.fit.coefficients.at(1));
+  set(block, "n_outputs", c.n_outputs);
+  set(block, "fit_r2", c.fit.r_squared);
+}
+
+void CoefficientTable::save(std::ostream& os) const {
+  os << "# ahbpower coefficient table v1\n";
+  for (const auto& [bk, v] : values_) {
+    std::ostringstream num;
+    num.precision(17);
+    num << v;
+    os << bk.first << '.' << bk.second << " = " << num.str() << '\n';
+  }
+}
+
+CoefficientTable CoefficientTable::load(std::istream& is) {
+  CoefficientTable t;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string lhs, eq;
+    double value = 0.0;
+    if (!(ls >> lhs)) continue;  // blank
+    if (!(ls >> eq >> value) || eq != "=") {
+      throw SimError("CoefficientTable: malformed line " + std::to_string(lineno));
+    }
+    const std::size_t dot = lhs.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 >= lhs.size()) {
+      throw SimError("CoefficientTable: expected block.key at line " +
+                     std::to_string(lineno));
+    }
+    t.set(lhs.substr(0, dot), lhs.substr(dot + 1), value);
+  }
+  return t;
+}
+
+}  // namespace ahbp::charlib

@@ -1,0 +1,54 @@
+#pragma once
+// Coefficient tables: the persistent artifact of IP characterization.
+//
+// The paper frames characterization as part of IP *qualification*: a
+// vendor characterizes once and ships the numbers with the executable
+// model. CoefficientTable is that shipping container -- a simple
+// "block.key = value" text format that survives round-trips and plugs
+// straight back into the power models.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "charlib/characterize.hpp"
+#include "power/macromodel.hpp"
+
+namespace ahbp::charlib {
+
+/// Named (block, key) -> value store with text persistence.
+class CoefficientTable {
+public:
+  /// @name Generic access
+  ///@{
+  void set(const std::string& block, const std::string& key, double value);
+  [[nodiscard]] bool has(const std::string& block, const std::string& key) const;
+  /// Returns the stored value, or `fallback` when absent.
+  [[nodiscard]] double get(const std::string& block, const std::string& key,
+                           double fallback = 0.0) const;
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  ///@}
+
+  /// @name Characterization bridges
+  ///@{
+  /// Stores a mux characterization's calibrated coefficients under `block`.
+  void store_mux(const std::string& block, const MuxCharacterization& c);
+  /// Reconstructs MuxModel coefficients stored under `block`; missing
+  /// keys fall back to the structural defaults.
+  [[nodiscard]] power::MuxModel::Coefficients mux_coefficients(
+      const std::string& block) const;
+  /// Stores a decoder characterization's linear fit under `block`.
+  void store_decoder(const std::string& block, const DecoderCharacterization& c);
+  ///@}
+
+  /// @name Persistence ("block.key = value" lines, '#' comments)
+  ///@{
+  void save(std::ostream& os) const;
+  [[nodiscard]] static CoefficientTable load(std::istream& is);
+  ///@}
+
+private:
+  std::map<std::pair<std::string, std::string>, double> values_;
+};
+
+}  // namespace ahbp::charlib

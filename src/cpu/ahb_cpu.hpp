@@ -1,0 +1,61 @@
+#pragma once
+// CpuMaster: an Rv32Core attached to the AHB as a bus master.
+//
+// Every instruction produces realistic bus traffic: an instruction fetch
+// (sequential addresses with jumps), plus loads/stores for memory
+// operations (sub-word stores become read-modify-write word accesses,
+// since the modeled bus datapath is word-wide). Accesses are serialized
+// (no fetch/data overlap) -- a simple non-pipelined embedded core, which
+// is exactly the kind of CPU the 2003-era AHB systems carried.
+
+#include <cstdint>
+#include <vector>
+
+#include "ahb/master.hpp"
+#include "ahb/slave.hpp"
+#include "cpu/core.hpp"
+
+namespace ahbp::cpu {
+
+/// RV32I CPU as an AHB master.
+class CpuMaster final : public ahb::AhbMaster {
+public:
+  struct Config {
+    std::uint32_t reset_pc = 0;
+    /// Release the bus for `yield_cycles` after every `yield_every`
+    /// instructions (0 = never yield; the CPU then monopolizes the bus
+    /// whenever it is the highest-priority requester).
+    unsigned yield_every = 0;
+    unsigned yield_cycles = 2;
+  };
+
+  struct Stats {
+    std::uint64_t fetches = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t rmw_stores = 0;  ///< sub-word stores (read-modify-write)
+    std::uint64_t error_responses = 0;
+  };
+
+  CpuMaster(sim::Module* parent, std::string name, ahb::AhbBus& bus, Config cfg);
+
+  [[nodiscard]] const Rv32Core& core() const { return core_; }
+  [[nodiscard]] Rv32Core& core() { return core_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool halted() const { return core_.halted(); }
+
+private:
+  sim::Task body();
+
+  Config cfg_;
+  Rv32Core core_;
+  Stats stats_;
+  sim::Thread thread_;
+};
+
+/// Loads a program (word vector) into a memory slave at `base`
+/// (slave-relative byte offset).
+void load_program(ahb::MemorySlave& mem, std::uint32_t base,
+                  const std::vector<std::uint32_t>& words);
+
+}  // namespace ahbp::cpu

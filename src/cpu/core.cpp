@@ -1,0 +1,134 @@
+#include "cpu/core.hpp"
+
+namespace ahbp::cpu {
+
+namespace {
+
+std::uint32_t byte_mask(std::uint32_t addr, unsigned bytes) {
+  const unsigned lane = addr & 3u;
+  const std::uint32_t base = bytes == 1 ? 0xFFu : bytes == 2 ? 0xFFFFu : 0xFFFFFFFFu;
+  return base << (8 * lane);
+}
+
+}  // namespace
+
+MemOp Rv32Core::execute(std::uint32_t instr_word) {
+  MemOp mem;
+  if (halted_) {
+    mem.kind = MemOp::Kind::kHalt;
+    return mem;
+  }
+
+  const Instr in = decode(instr_word);
+  const std::uint32_t rs1 = x_[in.rs1];
+  const std::uint32_t rs2 = x_[in.rs2];
+  const auto srs1 = static_cast<std::int32_t>(rs1);
+  const auto srs2 = static_cast<std::int32_t>(rs2);
+  const std::uint32_t uimm = static_cast<std::uint32_t>(in.imm);
+  std::uint32_t next_pc = pc_ + 4;
+
+  auto wr = [this, &in](std::uint32_t v) { set_reg(in.rd, v); };
+
+  switch (in.op) {
+    case Op::kLui: wr(uimm); break;
+    case Op::kAuipc: wr(pc_ + uimm); break;
+    case Op::kJal:
+      wr(pc_ + 4);
+      next_pc = pc_ + uimm;
+      break;
+    case Op::kJalr:
+      wr(pc_ + 4);
+      next_pc = (rs1 + uimm) & ~1u;
+      break;
+    case Op::kBeq: if (rs1 == rs2) next_pc = pc_ + uimm; break;
+    case Op::kBne: if (rs1 != rs2) next_pc = pc_ + uimm; break;
+    case Op::kBlt: if (srs1 < srs2) next_pc = pc_ + uimm; break;
+    case Op::kBge: if (srs1 >= srs2) next_pc = pc_ + uimm; break;
+    case Op::kBltu: if (rs1 < rs2) next_pc = pc_ + uimm; break;
+    case Op::kBgeu: if (rs1 >= rs2) next_pc = pc_ + uimm; break;
+
+    case Op::kLb:
+    case Op::kLbu:
+      mem.kind = MemOp::Kind::kLoad;
+      mem.addr = rs1 + uimm;
+      mem.bytes = 1;
+      mem.sign_extend = in.op == Op::kLb;
+      mem.rd = in.rd;
+      break;
+    case Op::kLh:
+    case Op::kLhu:
+      mem.kind = MemOp::Kind::kLoad;
+      mem.addr = rs1 + uimm;
+      mem.bytes = 2;
+      mem.sign_extend = in.op == Op::kLh;
+      mem.rd = in.rd;
+      break;
+    case Op::kLw:
+      mem.kind = MemOp::Kind::kLoad;
+      mem.addr = rs1 + uimm;
+      mem.bytes = 4;
+      mem.rd = in.rd;
+      break;
+
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw: {
+      mem.kind = MemOp::Kind::kStore;
+      mem.addr = rs1 + uimm;
+      mem.bytes = in.op == Op::kSb ? 1 : in.op == Op::kSh ? 2 : 4;
+      mem.wmask = byte_mask(mem.addr, mem.bytes);
+      const unsigned lane = mem.addr & 3u;
+      mem.wdata = (rs2 << (8 * lane)) & mem.wmask;
+      break;
+    }
+
+    case Op::kAddi: wr(rs1 + uimm); break;
+    case Op::kSlti: wr(srs1 < in.imm ? 1 : 0); break;
+    case Op::kSltiu: wr(rs1 < uimm ? 1 : 0); break;
+    case Op::kXori: wr(rs1 ^ uimm); break;
+    case Op::kOri: wr(rs1 | uimm); break;
+    case Op::kAndi: wr(rs1 & uimm); break;
+    case Op::kSlli: wr(rs1 << (in.imm & 31)); break;
+    case Op::kSrli: wr(rs1 >> (in.imm & 31)); break;
+    case Op::kSrai: wr(static_cast<std::uint32_t>(srs1 >> (in.imm & 31))); break;
+
+    case Op::kAdd: wr(rs1 + rs2); break;
+    case Op::kSub: wr(rs1 - rs2); break;
+    case Op::kSll: wr(rs1 << (rs2 & 31)); break;
+    case Op::kSlt: wr(srs1 < srs2 ? 1 : 0); break;
+    case Op::kSltu: wr(rs1 < rs2 ? 1 : 0); break;
+    case Op::kXor: wr(rs1 ^ rs2); break;
+    case Op::kSrl: wr(rs1 >> (rs2 & 31)); break;
+    case Op::kSra: wr(static_cast<std::uint32_t>(srs1 >> (rs2 & 31))); break;
+    case Op::kOr: wr(rs1 | rs2); break;
+    case Op::kAnd: wr(rs1 & rs2); break;
+
+    case Op::kFence: break;  // NOP in this single-master-ordering model
+
+    case Op::kEcall:
+    case Op::kEbreak:
+    case Op::kInvalid:
+      halted_ = true;
+      mem.kind = MemOp::Kind::kHalt;
+      return mem;  // pc stays at the halting instruction
+  }
+
+  pc_ = next_pc;
+  ++instret_;
+  return mem;
+}
+
+void Rv32Core::complete_load(const MemOp& op, std::uint32_t loaded_word) {
+  const unsigned lane = op.addr & 3u;
+  std::uint32_t v = loaded_word >> (8 * lane);
+  if (op.bytes == 1) {
+    v &= 0xFFu;
+    if (op.sign_extend && (v & 0x80u) != 0) v |= 0xFFFFFF00u;
+  } else if (op.bytes == 2) {
+    v &= 0xFFFFu;
+    if (op.sign_extend && (v & 0x8000u) != 0) v |= 0xFFFF0000u;
+  }
+  set_reg(op.rd, v);
+}
+
+}  // namespace ahbp::cpu

@@ -1,0 +1,67 @@
+#pragma once
+// Rv32Core: the architectural model, independent of any bus.
+//
+// The core is driven in phases by its bus wrapper:
+//   1. fetch_addr() -> where to fetch,
+//   2. execute(instr_word) -> an optional memory operation,
+//   3. for loads: complete_load(value) writes the destination register.
+// This split keeps the ISA logic pure and unit-testable without a
+// simulation kernel, while the AHB wrapper supplies realistic fetch and
+// data traffic to the bus.
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/isa.hpp"
+
+namespace ahbp::cpu {
+
+/// The memory access (if any) an instruction requires.
+struct MemOp {
+  enum class Kind : std::uint8_t { kNone, kLoad, kStore, kHalt };
+  Kind kind = Kind::kNone;
+  std::uint32_t addr = 0;
+  std::uint32_t wdata = 0;   ///< store data (full word, pre-merged via mask)
+  std::uint32_t wmask = 0;   ///< byte-lane mask as bit mask over the word
+  unsigned bytes = 4;        ///< access width
+  bool sign_extend = false;  ///< for sub-word loads
+  std::uint8_t rd = 0;       ///< load destination
+};
+
+/// RV32I architectural state + single-instruction executor.
+class Rv32Core {
+public:
+  explicit Rv32Core(std::uint32_t reset_pc = 0) : pc_(reset_pc) {}
+
+  /// Address of the next instruction.
+  [[nodiscard]] std::uint32_t fetch_addr() const { return pc_; }
+
+  /// Executes one instruction word fetched from fetch_addr(). Updates pc
+  /// and registers; returns the memory operation the wrapper must
+  /// perform (kNone for pure ALU/branch instructions, kHalt on
+  /// EBREAK/ECALL or an invalid encoding).
+  MemOp execute(std::uint32_t instr_word);
+
+  /// Delivers load data for the MemOp returned by the last execute().
+  void complete_load(const MemOp& op, std::uint32_t loaded_word);
+
+  /// @name State access
+  ///@{
+  [[nodiscard]] std::uint32_t reg(unsigned i) const { return x_[i & 31]; }
+  void set_reg(unsigned i, std::uint32_t v) {
+    if ((i & 31) != 0) x_[i & 31] = v;
+  }
+  [[nodiscard]] std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] std::uint64_t instret() const { return instret_; }
+  ///@}
+
+private:
+  std::array<std::uint32_t, 32> x_{};
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+  std::uint64_t instret_ = 0;
+};
+
+}  // namespace ahbp::cpu

@@ -1,0 +1,13 @@
+#pragma once
+// Umbrella header for ahbp::cpu -- the RV32I CPU master:
+//   isa.hpp      -- decode / disassembly
+//   encode.hpp   -- instruction encoders ("assembler")
+//   core.hpp     -- architectural core (bus-independent)
+//   ahb_cpu.hpp  -- CpuMaster: the core as an AHB bus master
+//   programs.hpp -- ready-made test/benchmark programs
+
+#include "cpu/ahb_cpu.hpp"
+#include "cpu/core.hpp"
+#include "cpu/encode.hpp"
+#include "cpu/isa.hpp"
+#include "cpu/programs.hpp"

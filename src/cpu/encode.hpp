@@ -1,0 +1,180 @@
+#pragma once
+// RV32I instruction encoders -- the "assembler" used by tests, examples
+// and workload generators to build programs as word vectors.
+//
+// Each function returns the 32-bit encoding; compose programs as
+//   std::vector<uint32_t> prog = { addi(5, 0, 10), sw(5, 2, 0), ebreak() };
+
+#include <cstdint>
+
+namespace ahbp::cpu::enc {
+
+namespace detail {
+constexpr std::uint32_t r_type(std::uint32_t f7, std::uint32_t rs2,
+                               std::uint32_t rs1, std::uint32_t f3,
+                               std::uint32_t rd, std::uint32_t opc) {
+  return f7 << 25 | rs2 << 20 | rs1 << 15 | f3 << 12 | rd << 7 | opc;
+}
+constexpr std::uint32_t i_type(std::int32_t imm, std::uint32_t rs1,
+                               std::uint32_t f3, std::uint32_t rd,
+                               std::uint32_t opc) {
+  return static_cast<std::uint32_t>(imm & 0xFFF) << 20 | rs1 << 15 | f3 << 12 |
+         rd << 7 | opc;
+}
+constexpr std::uint32_t s_type(std::int32_t imm, std::uint32_t rs2,
+                               std::uint32_t rs1, std::uint32_t f3,
+                               std::uint32_t opc) {
+  const auto u = static_cast<std::uint32_t>(imm);
+  return ((u >> 5) & 0x7F) << 25 | rs2 << 20 | rs1 << 15 | f3 << 12 |
+         (u & 0x1F) << 7 | opc;
+}
+constexpr std::uint32_t b_type(std::int32_t imm, std::uint32_t rs2,
+                               std::uint32_t rs1, std::uint32_t f3) {
+  const auto u = static_cast<std::uint32_t>(imm);
+  return ((u >> 12) & 1u) << 31 | ((u >> 5) & 0x3Fu) << 25 | rs2 << 20 |
+         rs1 << 15 | f3 << 12 | ((u >> 1) & 0xFu) << 8 | ((u >> 11) & 1u) << 7 |
+         0x63;
+}
+constexpr std::uint32_t u_type(std::int32_t imm20, std::uint32_t rd,
+                               std::uint32_t opc) {
+  return static_cast<std::uint32_t>(imm20) << 12 | rd << 7 | opc;
+}
+constexpr std::uint32_t j_type(std::int32_t imm, std::uint32_t rd) {
+  const auto u = static_cast<std::uint32_t>(imm);
+  return ((u >> 20) & 1u) << 31 | ((u >> 1) & 0x3FFu) << 21 |
+         ((u >> 11) & 1u) << 20 | ((u >> 12) & 0xFFu) << 12 | rd << 7 | 0x6F;
+}
+}  // namespace detail
+
+// --- U/J-type -------------------------------------------------------------
+/// rd = imm20 << 12
+constexpr std::uint32_t lui(unsigned rd, std::int32_t imm20) {
+  return detail::u_type(imm20, rd, 0x37);
+}
+/// rd = pc + (imm20 << 12)
+constexpr std::uint32_t auipc(unsigned rd, std::int32_t imm20) {
+  return detail::u_type(imm20, rd, 0x17);
+}
+/// rd = pc + 4; pc += offset (bytes, even)
+constexpr std::uint32_t jal(unsigned rd, std::int32_t offset) {
+  return detail::j_type(offset, rd);
+}
+/// rd = pc + 4; pc = (rs1 + imm) & ~1
+constexpr std::uint32_t jalr(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 0, rd, 0x67);
+}
+
+// --- branches (offset in bytes from this instruction) ----------------------
+constexpr std::uint32_t beq(unsigned rs1, unsigned rs2, std::int32_t off) {
+  return detail::b_type(off, rs2, rs1, 0);
+}
+constexpr std::uint32_t bne(unsigned rs1, unsigned rs2, std::int32_t off) {
+  return detail::b_type(off, rs2, rs1, 1);
+}
+constexpr std::uint32_t blt(unsigned rs1, unsigned rs2, std::int32_t off) {
+  return detail::b_type(off, rs2, rs1, 4);
+}
+constexpr std::uint32_t bge(unsigned rs1, unsigned rs2, std::int32_t off) {
+  return detail::b_type(off, rs2, rs1, 5);
+}
+constexpr std::uint32_t bltu(unsigned rs1, unsigned rs2, std::int32_t off) {
+  return detail::b_type(off, rs2, rs1, 6);
+}
+constexpr std::uint32_t bgeu(unsigned rs1, unsigned rs2, std::int32_t off) {
+  return detail::b_type(off, rs2, rs1, 7);
+}
+
+// --- loads / stores ---------------------------------------------------------
+constexpr std::uint32_t lb(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 0, rd, 0x03);
+}
+constexpr std::uint32_t lh(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 1, rd, 0x03);
+}
+constexpr std::uint32_t lw(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 2, rd, 0x03);
+}
+constexpr std::uint32_t lbu(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 4, rd, 0x03);
+}
+constexpr std::uint32_t lhu(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 5, rd, 0x03);
+}
+constexpr std::uint32_t sb(unsigned rs2, unsigned rs1, std::int32_t imm) {
+  return detail::s_type(imm, rs2, rs1, 0, 0x23);
+}
+constexpr std::uint32_t sh(unsigned rs2, unsigned rs1, std::int32_t imm) {
+  return detail::s_type(imm, rs2, rs1, 1, 0x23);
+}
+constexpr std::uint32_t sw(unsigned rs2, unsigned rs1, std::int32_t imm) {
+  return detail::s_type(imm, rs2, rs1, 2, 0x23);
+}
+
+// --- ALU immediate ----------------------------------------------------------
+constexpr std::uint32_t addi(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 0, rd, 0x13);
+}
+constexpr std::uint32_t slti(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 2, rd, 0x13);
+}
+constexpr std::uint32_t sltiu(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 3, rd, 0x13);
+}
+constexpr std::uint32_t xori(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 4, rd, 0x13);
+}
+constexpr std::uint32_t ori(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 6, rd, 0x13);
+}
+constexpr std::uint32_t andi(unsigned rd, unsigned rs1, std::int32_t imm) {
+  return detail::i_type(imm, rs1, 7, rd, 0x13);
+}
+constexpr std::uint32_t slli(unsigned rd, unsigned rs1, unsigned shamt) {
+  return detail::r_type(0, shamt, rs1, 1, rd, 0x13);
+}
+constexpr std::uint32_t srli(unsigned rd, unsigned rs1, unsigned shamt) {
+  return detail::r_type(0, shamt, rs1, 5, rd, 0x13);
+}
+constexpr std::uint32_t srai(unsigned rd, unsigned rs1, unsigned shamt) {
+  return detail::r_type(0x20, shamt, rs1, 5, rd, 0x13);
+}
+
+// --- ALU register -------------------------------------------------------------
+constexpr std::uint32_t add(unsigned rd, unsigned rs1, unsigned rs2) {
+  return detail::r_type(0, rs2, rs1, 0, rd, 0x33);
+}
+constexpr std::uint32_t sub(unsigned rd, unsigned rs1, unsigned rs2) {
+  return detail::r_type(0x20, rs2, rs1, 0, rd, 0x33);
+}
+constexpr std::uint32_t sll(unsigned rd, unsigned rs1, unsigned rs2) {
+  return detail::r_type(0, rs2, rs1, 1, rd, 0x33);
+}
+constexpr std::uint32_t slt(unsigned rd, unsigned rs1, unsigned rs2) {
+  return detail::r_type(0, rs2, rs1, 2, rd, 0x33);
+}
+constexpr std::uint32_t sltu(unsigned rd, unsigned rs1, unsigned rs2) {
+  return detail::r_type(0, rs2, rs1, 3, rd, 0x33);
+}
+constexpr std::uint32_t xor_(unsigned rd, unsigned rs1, unsigned rs2) {
+  return detail::r_type(0, rs2, rs1, 4, rd, 0x33);
+}
+constexpr std::uint32_t srl(unsigned rd, unsigned rs1, unsigned rs2) {
+  return detail::r_type(0, rs2, rs1, 5, rd, 0x33);
+}
+constexpr std::uint32_t sra(unsigned rd, unsigned rs1, unsigned rs2) {
+  return detail::r_type(0x20, rs2, rs1, 5, rd, 0x33);
+}
+constexpr std::uint32_t or_(unsigned rd, unsigned rs1, unsigned rs2) {
+  return detail::r_type(0, rs2, rs1, 6, rd, 0x33);
+}
+constexpr std::uint32_t and_(unsigned rd, unsigned rs1, unsigned rs2) {
+  return detail::r_type(0, rs2, rs1, 7, rd, 0x33);
+}
+
+// --- misc ---------------------------------------------------------------------
+constexpr std::uint32_t nop() { return addi(0, 0, 0); }
+constexpr std::uint32_t ecall() { return 0x00000073; }
+constexpr std::uint32_t ebreak() { return 0x00100073; }
+constexpr std::uint32_t fence() { return 0x0000000F; }
+
+}  // namespace ahbp::cpu::enc

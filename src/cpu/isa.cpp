@@ -1,0 +1,259 @@
+#include "cpu/isa.hpp"
+
+#include <cstdio>
+
+namespace ahbp::cpu {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kInvalid: return "invalid";
+    case Op::kLui: return "lui";
+    case Op::kAuipc: return "auipc";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBltu: return "bltu";
+    case Op::kBgeu: return "bgeu";
+    case Op::kLb: return "lb";
+    case Op::kLh: return "lh";
+    case Op::kLw: return "lw";
+    case Op::kLbu: return "lbu";
+    case Op::kLhu: return "lhu";
+    case Op::kSb: return "sb";
+    case Op::kSh: return "sh";
+    case Op::kSw: return "sw";
+    case Op::kAddi: return "addi";
+    case Op::kSlti: return "slti";
+    case Op::kSltiu: return "sltiu";
+    case Op::kXori: return "xori";
+    case Op::kOri: return "ori";
+    case Op::kAndi: return "andi";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kSll: return "sll";
+    case Op::kSlt: return "slt";
+    case Op::kSltu: return "sltu";
+    case Op::kXor: return "xor";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kOr: return "or";
+    case Op::kAnd: return "and";
+    case Op::kFence: return "fence";
+    case Op::kEcall: return "ecall";
+    case Op::kEbreak: return "ebreak";
+  }
+  return "?";
+}
+
+namespace {
+
+std::int32_t imm_i(std::uint32_t w) { return static_cast<std::int32_t>(w) >> 20; }
+
+std::int32_t imm_s(std::uint32_t w) {
+  return (static_cast<std::int32_t>(w) >> 25 << 5) |
+         static_cast<std::int32_t>((w >> 7) & 0x1F);
+}
+
+std::int32_t imm_b(std::uint32_t w) {
+  const std::uint32_t imm = ((w >> 31) & 1u) << 12 | ((w >> 7) & 1u) << 11 |
+                            ((w >> 25) & 0x3Fu) << 5 | ((w >> 8) & 0xFu) << 1;
+  return static_cast<std::int32_t>(imm << 19) >> 19;  // sign-extend 13 bits
+}
+
+std::int32_t imm_u(std::uint32_t w) {
+  return static_cast<std::int32_t>(w & 0xFFFFF000u);
+}
+
+std::int32_t imm_j(std::uint32_t w) {
+  const std::uint32_t imm = ((w >> 31) & 1u) << 20 | ((w >> 12) & 0xFFu) << 12 |
+                            ((w >> 20) & 1u) << 11 | ((w >> 21) & 0x3FFu) << 1;
+  return static_cast<std::int32_t>(imm << 11) >> 11;  // sign-extend 21 bits
+}
+
+}  // namespace
+
+Instr decode(std::uint32_t w) {
+  Instr in;
+  in.rd = static_cast<std::uint8_t>((w >> 7) & 0x1F);
+  in.rs1 = static_cast<std::uint8_t>((w >> 15) & 0x1F);
+  in.rs2 = static_cast<std::uint8_t>((w >> 20) & 0x1F);
+  const std::uint32_t opcode = w & 0x7F;
+  const std::uint32_t funct3 = (w >> 12) & 0x7;
+  const std::uint32_t funct7 = (w >> 25) & 0x7F;
+
+  switch (opcode) {
+    case 0x37:
+      in.op = Op::kLui;
+      in.imm = imm_u(w);
+      break;
+    case 0x17:
+      in.op = Op::kAuipc;
+      in.imm = imm_u(w);
+      break;
+    case 0x6F:
+      in.op = Op::kJal;
+      in.imm = imm_j(w);
+      break;
+    case 0x67:
+      in.op = funct3 == 0 ? Op::kJalr : Op::kInvalid;
+      in.imm = imm_i(w);
+      break;
+    case 0x63:
+      in.imm = imm_b(w);
+      switch (funct3) {
+        case 0: in.op = Op::kBeq; break;
+        case 1: in.op = Op::kBne; break;
+        case 4: in.op = Op::kBlt; break;
+        case 5: in.op = Op::kBge; break;
+        case 6: in.op = Op::kBltu; break;
+        case 7: in.op = Op::kBgeu; break;
+        default: in.op = Op::kInvalid; break;
+      }
+      break;
+    case 0x03:
+      in.imm = imm_i(w);
+      switch (funct3) {
+        case 0: in.op = Op::kLb; break;
+        case 1: in.op = Op::kLh; break;
+        case 2: in.op = Op::kLw; break;
+        case 4: in.op = Op::kLbu; break;
+        case 5: in.op = Op::kLhu; break;
+        default: in.op = Op::kInvalid; break;
+      }
+      break;
+    case 0x23:
+      in.imm = imm_s(w);
+      switch (funct3) {
+        case 0: in.op = Op::kSb; break;
+        case 1: in.op = Op::kSh; break;
+        case 2: in.op = Op::kSw; break;
+        default: in.op = Op::kInvalid; break;
+      }
+      break;
+    case 0x13:
+      in.imm = imm_i(w);
+      switch (funct3) {
+        case 0: in.op = Op::kAddi; break;
+        case 2: in.op = Op::kSlti; break;
+        case 3: in.op = Op::kSltiu; break;
+        case 4: in.op = Op::kXori; break;
+        case 6: in.op = Op::kOri; break;
+        case 7: in.op = Op::kAndi; break;
+        case 1:
+          in.op = funct7 == 0 ? Op::kSlli : Op::kInvalid;
+          in.imm = static_cast<std::int32_t>(in.rs2);  // shamt
+          break;
+        case 5:
+          in.op = funct7 == 0 ? Op::kSrli : funct7 == 0x20 ? Op::kSrai : Op::kInvalid;
+          in.imm = static_cast<std::int32_t>(in.rs2);  // shamt
+          break;
+        default: in.op = Op::kInvalid; break;
+      }
+      break;
+    case 0x33:
+      switch (funct3 | funct7 << 3) {
+        case 0: in.op = Op::kAdd; break;
+        case (0x20 << 3) | 0: in.op = Op::kSub; break;
+        case 1: in.op = Op::kSll; break;
+        case 2: in.op = Op::kSlt; break;
+        case 3: in.op = Op::kSltu; break;
+        case 4: in.op = Op::kXor; break;
+        case 5: in.op = Op::kSrl; break;
+        case (0x20 << 3) | 5: in.op = Op::kSra; break;
+        case 6: in.op = Op::kOr; break;
+        case 7: in.op = Op::kAnd; break;
+        default: in.op = Op::kInvalid; break;
+      }
+      break;
+    case 0x0F:
+      in.op = Op::kFence;
+      break;
+    case 0x73:
+      if (w == 0x00000073) {
+        in.op = Op::kEcall;
+      } else if (w == 0x00100073) {
+        in.op = Op::kEbreak;
+      } else {
+        in.op = Op::kInvalid;
+      }
+      break;
+    default:
+      in.op = Op::kInvalid;
+      break;
+  }
+  return in;
+}
+
+std::string disassemble(std::uint32_t word) {
+  const Instr in = decode(word);
+  char buf[96];
+  const char* m = to_string(in.op);
+  switch (in.op) {
+    case Op::kLui:
+    case Op::kAuipc:
+      std::snprintf(buf, sizeof buf, "%s x%u, 0x%x", m, in.rd,
+                    static_cast<std::uint32_t>(in.imm) >> 12);
+      break;
+    case Op::kJal:
+      std::snprintf(buf, sizeof buf, "%s x%u, %d", m, in.rd, in.imm);
+      break;
+    case Op::kJalr:
+      std::snprintf(buf, sizeof buf, "%s x%u, %d(x%u)", m, in.rd, in.imm, in.rs1);
+      break;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBltu:
+    case Op::kBgeu:
+      std::snprintf(buf, sizeof buf, "%s x%u, x%u, %d", m, in.rs1, in.rs2, in.imm);
+      break;
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu:
+      std::snprintf(buf, sizeof buf, "%s x%u, %d(x%u)", m, in.rd, in.imm, in.rs1);
+      break;
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+      std::snprintf(buf, sizeof buf, "%s x%u, %d(x%u)", m, in.rs2, in.imm, in.rs1);
+      break;
+    case Op::kAddi:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kXori:
+    case Op::kOri:
+    case Op::kAndi:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kSrai:
+      std::snprintf(buf, sizeof buf, "%s x%u, x%u, %d", m, in.rd, in.rs1, in.imm);
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kSll:
+    case Op::kSlt:
+    case Op::kSltu:
+    case Op::kXor:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kOr:
+    case Op::kAnd:
+      std::snprintf(buf, sizeof buf, "%s x%u, x%u, x%u", m, in.rd, in.rs1, in.rs2);
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "%s", m);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace ahbp::cpu

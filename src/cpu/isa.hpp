@@ -1,0 +1,90 @@
+#pragma once
+// RV32I instruction-set definitions: formats, decode, disassembly.
+//
+// The paper's AMBA system hangs "CPU or DSP cores" on the AHB; this
+// module provides the ISA layer of our CPU master -- a clean-room RV32I
+// subset (integer ALU, branches, jumps, loads/stores, EBREAK/ECALL halt)
+// chosen because it is compact, well-specified and gives realistic
+// instruction-fetch + data-access bus patterns.
+
+#include <cstdint>
+#include <string>
+
+namespace ahbp::cpu {
+
+/// Decoded operation kinds (post-decode, format-independent).
+enum class Op : std::uint8_t {
+  kInvalid,
+  kLui,
+  kAuipc,
+  kJal,
+  kJalr,
+  kBeq,
+  kBne,
+  kBlt,
+  kBge,
+  kBltu,
+  kBgeu,
+  kLb,
+  kLh,
+  kLw,
+  kLbu,
+  kLhu,
+  kSb,
+  kSh,
+  kSw,
+  kAddi,
+  kSlti,
+  kSltiu,
+  kXori,
+  kOri,
+  kAndi,
+  kSlli,
+  kSrli,
+  kSrai,
+  kAdd,
+  kSub,
+  kSll,
+  kSlt,
+  kSltu,
+  kXor,
+  kSrl,
+  kSra,
+  kOr,
+  kAnd,
+  kFence,   ///< executes as NOP
+  kEcall,   ///< halts the core (environment call surface)
+  kEbreak,  ///< halts the core
+};
+
+[[nodiscard]] const char* to_string(Op op);
+
+/// A decoded instruction.
+struct Instr {
+  Op op = Op::kInvalid;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+
+  [[nodiscard]] bool is_load() const {
+    return op == Op::kLb || op == Op::kLh || op == Op::kLw || op == Op::kLbu ||
+           op == Op::kLhu;
+  }
+  [[nodiscard]] bool is_store() const {
+    return op == Op::kSb || op == Op::kSh || op == Op::kSw;
+  }
+  [[nodiscard]] bool is_branch() const {
+    return op == Op::kBeq || op == Op::kBne || op == Op::kBlt || op == Op::kBge ||
+           op == Op::kBltu || op == Op::kBgeu;
+  }
+};
+
+/// Decodes a 32-bit instruction word. Unknown encodings decode to
+/// Op::kInvalid (the core halts on them).
+[[nodiscard]] Instr decode(std::uint32_t word);
+
+/// One-line disassembly, e.g. "addi x5, x5, -1".
+[[nodiscard]] std::string disassemble(std::uint32_t word);
+
+}  // namespace ahbp::cpu

@@ -1,0 +1,168 @@
+#include "cpu/programs.hpp"
+
+#include "cpu/encode.hpp"
+
+namespace ahbp::cpu::progs {
+
+namespace {
+
+/// Emits a load-immediate (1 or 2 instructions).
+void li(std::vector<std::uint32_t>& v, unsigned rd, std::uint32_t value) {
+  const auto sv = static_cast<std::int32_t>(value);
+  if (sv >= -2048 && sv < 2048) {
+    v.push_back(enc::addi(rd, 0, sv));
+    return;
+  }
+  const auto hi = static_cast<std::int32_t>((value + 0x800u) >> 12);
+  const std::int32_t lo = static_cast<std::int32_t>(value << 20) >> 20;
+  v.push_back(enc::lui(rd, hi));
+  v.push_back(enc::addi(rd, rd, lo));
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> sum_array(std::uint32_t src, unsigned n) {
+  std::vector<std::uint32_t> v;
+  li(v, 2, src);
+  li(v, 5, n);
+  v.push_back(enc::addi(10, 0, 0));
+  // loop:
+  v.push_back(enc::beq(5, 0, 24));   // -> ebreak
+  v.push_back(enc::lw(1, 2, 0));
+  v.push_back(enc::add(10, 10, 1));
+  v.push_back(enc::addi(2, 2, 4));
+  v.push_back(enc::addi(5, 5, -1));
+  v.push_back(enc::jal(0, -20));     // -> loop
+  v.push_back(enc::ebreak());
+  return v;
+}
+
+std::vector<std::uint32_t> fibonacci(unsigned n) {
+  std::vector<std::uint32_t> v;
+  li(v, 5, n);
+  v.push_back(enc::addi(6, 0, 0));  // a = fib(0)
+  v.push_back(enc::addi(7, 0, 1));  // b = fib(1)
+  // loop:
+  v.push_back(enc::beq(5, 0, 24));  // -> done
+  v.push_back(enc::add(1, 6, 7));   // t = a + b
+  v.push_back(enc::add(6, 7, 0));   // a = b
+  v.push_back(enc::add(7, 1, 0));   // b = t
+  v.push_back(enc::addi(5, 5, -1));
+  v.push_back(enc::jal(0, -20));    // -> loop
+  // done:
+  v.push_back(enc::add(10, 6, 0));  // result = a
+  v.push_back(enc::ebreak());
+  return v;
+}
+
+std::vector<std::uint32_t> memcpy_words(std::uint32_t src, std::uint32_t dst,
+                                        unsigned words) {
+  std::vector<std::uint32_t> v;
+  li(v, 2, src);
+  li(v, 3, dst);
+  li(v, 5, words);
+  // loop:
+  v.push_back(enc::beq(5, 0, 28));  // -> ebreak
+  v.push_back(enc::lw(1, 2, 0));
+  v.push_back(enc::sw(1, 3, 0));
+  v.push_back(enc::addi(2, 2, 4));
+  v.push_back(enc::addi(3, 3, 4));
+  v.push_back(enc::addi(5, 5, -1));
+  v.push_back(enc::jal(0, -24));    // -> loop
+  v.push_back(enc::ebreak());
+  return v;
+}
+
+std::vector<std::uint32_t> fill_random(std::uint32_t dst, unsigned words,
+                                       std::uint32_t seed) {
+  std::vector<std::uint32_t> v;
+  li(v, 2, dst);
+  li(v, 5, words);
+  li(v, 10, seed);
+  // loop: xorshift32 then store.
+  v.push_back(enc::beq(5, 0, 44));    // -> ebreak
+  v.push_back(enc::slli(1, 10, 13));
+  v.push_back(enc::xor_(10, 10, 1));
+  v.push_back(enc::srli(1, 10, 17));
+  v.push_back(enc::xor_(10, 10, 1));
+  v.push_back(enc::slli(1, 10, 5));
+  v.push_back(enc::xor_(10, 10, 1));
+  v.push_back(enc::sw(10, 2, 0));
+  v.push_back(enc::addi(2, 2, 4));
+  v.push_back(enc::addi(5, 5, -1));
+  v.push_back(enc::jal(0, -40));      // -> loop
+  v.push_back(enc::ebreak());
+  return v;
+}
+
+std::vector<std::uint32_t> memcpy_bytes(std::uint32_t src, std::uint32_t dst,
+                                        unsigned bytes) {
+  std::vector<std::uint32_t> v;
+  li(v, 2, src);
+  li(v, 3, dst);
+  li(v, 5, bytes);
+  // loop:
+  v.push_back(enc::beq(5, 0, 28));  // -> ebreak
+  v.push_back(enc::lbu(1, 2, 0));
+  v.push_back(enc::sb(1, 3, 0));
+  v.push_back(enc::addi(2, 2, 1));
+  v.push_back(enc::addi(3, 3, 1));
+  v.push_back(enc::addi(5, 5, -1));
+  v.push_back(enc::jal(0, -24));    // -> loop
+  v.push_back(enc::ebreak());
+  return v;
+}
+
+std::vector<std::uint32_t> crc32_words(std::uint32_t src, unsigned words) {
+  std::vector<std::uint32_t> v;
+  li(v, 2, src);
+  li(v, 5, words);
+  v.push_back(enc::addi(10, 0, -1));  // crc = 0xFFFFFFFF
+  li(v, 6, 0xEDB88320u);              // reflected polynomial (2 instrs)
+  // Lw: (word-loop; indices relative to this instruction)
+  v.push_back(enc::beq(5, 0, 52));    // -> done (index 13)
+  v.push_back(enc::lw(1, 2, 0));
+  v.push_back(enc::xor_(10, 10, 1));
+  v.push_back(enc::addi(7, 0, 32));
+  // Lb: (bit loop, index 4)
+  v.push_back(enc::andi(11, 10, 1));
+  v.push_back(enc::srli(10, 10, 1));
+  v.push_back(enc::beq(11, 0, 8));    // skip the poly xor
+  v.push_back(enc::xor_(10, 10, 6));
+  v.push_back(enc::addi(7, 7, -1));
+  v.push_back(enc::bne(7, 0, -20));   // -> Lb
+  v.push_back(enc::addi(2, 2, 4));
+  v.push_back(enc::addi(5, 5, -1));
+  v.push_back(enc::jal(0, -48));      // -> Lw
+  // done:
+  v.push_back(enc::xori(10, 10, -1)); // crc = ~crc
+  v.push_back(enc::ebreak());
+  return v;
+}
+
+std::vector<std::uint32_t> bubble_sort(std::uint32_t base, unsigned n) {
+  std::vector<std::uint32_t> v;
+  li(v, 2, base);
+  li(v, 5, n);
+  // outer: (index 0)
+  v.push_back(enc::addi(6, 5, -1));   // comparisons this pass
+  v.push_back(enc::beq(6, 0, 48));    // -> done (index 13)
+  v.push_back(enc::add(3, 2, 0));     // ptr = base
+  // inner: (index 3)
+  v.push_back(enc::lw(7, 3, 0));
+  v.push_back(enc::lw(8, 3, 4));
+  v.push_back(enc::bge(8, 7, 12));    // already ordered -> noswap
+  v.push_back(enc::sw(8, 3, 0));
+  v.push_back(enc::sw(7, 3, 4));
+  // noswap: (index 8)
+  v.push_back(enc::addi(3, 3, 4));
+  v.push_back(enc::addi(6, 6, -1));
+  v.push_back(enc::bne(6, 0, -28));   // -> inner
+  v.push_back(enc::addi(5, 5, -1));
+  v.push_back(enc::jal(0, -48));      // -> outer
+  // done:
+  v.push_back(enc::ebreak());
+  return v;
+}
+
+}  // namespace ahbp::cpu::progs

@@ -1,0 +1,48 @@
+#pragma once
+// Ready-made RV32I programs for tests, benches and examples. Each
+// builder returns the instruction words; callers load them with
+// load_program() and point the core's reset PC at them.
+//
+// Register conventions used here (informal): x1 scratch, x2 base
+// pointers, x5-x7 loop state, x10 result (a0), x31 temporary.
+
+#include <cstdint>
+#include <vector>
+
+namespace ahbp::cpu::progs {
+
+/// Sums `n` words starting at `src`; result in x10, then EBREAK.
+[[nodiscard]] std::vector<std::uint32_t> sum_array(std::uint32_t src, unsigned n);
+
+/// Computes fib(n) iteratively into x10, then EBREAK. n in [0, 47).
+[[nodiscard]] std::vector<std::uint32_t> fibonacci(unsigned n);
+
+/// Copies `words` words from `src` to `dst`, then EBREAK.
+[[nodiscard]] std::vector<std::uint32_t> memcpy_words(std::uint32_t src,
+                                                      std::uint32_t dst,
+                                                      unsigned words);
+
+/// Writes `words` pseudo-random words (xorshift) starting at `dst`,
+/// then EBREAK. Seeds x10 with the final generator state.
+[[nodiscard]] std::vector<std::uint32_t> fill_random(std::uint32_t dst,
+                                                     unsigned words,
+                                                     std::uint32_t seed);
+
+/// Byte-wise string copy of `bytes` bytes (exercises LB/SB and the
+/// read-modify-write path), then EBREAK.
+[[nodiscard]] std::vector<std::uint32_t> memcpy_bytes(std::uint32_t src,
+                                                      std::uint32_t dst,
+                                                      unsigned bytes);
+
+/// Bit-reflected CRC32 (polynomial 0xEDB88320) over `words` words at
+/// `src`, bit-serial inner loop; result in x10, then EBREAK. Heavy on
+/// ALU + branches with a steady fetch stream.
+[[nodiscard]] std::vector<std::uint32_t> crc32_words(std::uint32_t src,
+                                                     unsigned words);
+
+/// In-place ascending bubble sort of `n` words at `base`, then EBREAK.
+/// Data-dependent branch + swap traffic.
+[[nodiscard]] std::vector<std::uint32_t> bubble_sort(std::uint32_t base,
+                                                     unsigned n);
+
+}  // namespace ahbp::cpu::progs

@@ -1,0 +1,44 @@
+#include "gate/area.hpp"
+
+#include <algorithm>
+
+#include "gate/synth.hpp"
+
+namespace ahbp::gate {
+
+double AreaFactors::of(GateType t) const {
+  switch (t) {
+    case GateType::kNot: return not_gate;
+    case GateType::kBuf: return buf_gate;
+    case GateType::kAnd: return and_gate;
+    case GateType::kOr: return or_gate;
+    case GateType::kNand: return nand_gate;
+    case GateType::kNor: return nor_gate;
+    case GateType::kXor: return xor_gate;
+    case GateType::kXnor: return xnor_gate;
+    case GateType::kDff: return dff;
+  }
+  return 1.0;
+}
+
+double area_nand2(const Netlist& nl, AreaFactors f) {
+  double a = 0.0;
+  for (const GateInst& g : nl.gates()) a += f.of(g.type);
+  return a;
+}
+
+AhbAreaEstimate estimate_ahb_area(unsigned n_masters, unsigned n_slaves,
+                                  unsigned data_width, unsigned addr_width) {
+  AhbAreaEstimate est;
+  const unsigned masters = std::max(2u, n_masters);
+  const unsigned slaves = std::max(2u, n_slaves);
+  est.decoder = area_nand2(build_onehot_decoder(slaves).nl);
+  // M2S: address + control (~8 bits) + write data, selected by master.
+  est.m2s_mux = area_nand2(build_mux(addr_width + 8 + data_width, masters).nl);
+  // S2M: read data + response (~3 bits), selected by slave.
+  est.s2m_mux = area_nand2(build_mux(data_width + 3, slaves).nl);
+  est.arbiter = area_nand2(build_priority_arbiter(masters).nl);
+  return est;
+}
+
+}  // namespace ahbp::gate

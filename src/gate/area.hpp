@@ -1,0 +1,51 @@
+#pragma once
+// Area estimation from gate-level structures.
+//
+// The paper's closing argument is that early analysis lets the designer
+// trade "cost, performances and reliability"; power is its focus, but
+// the same generated netlists also yield the cost axis: area in NAND2
+// gate equivalents (the technology-neutral unit ASIC flows quote).
+
+#include "gate/netlist.hpp"
+
+namespace ahbp::gate {
+
+/// NAND2-equivalent area factors per gate type (typical standard-cell
+/// ratios; the absolute unit cancels in comparisons).
+struct AreaFactors {
+  double not_gate = 0.67;
+  double buf_gate = 0.67;
+  double nand_gate = 1.0;
+  double and_gate = 1.33;
+  double or_gate = 1.33;
+  double nor_gate = 1.0;
+  double xor_gate = 2.33;
+  double xnor_gate = 2.33;
+  double dff = 4.33;
+
+  [[nodiscard]] double of(GateType t) const;
+};
+
+/// Total area of a netlist in NAND2 equivalents.
+[[nodiscard]] double area_nand2(const Netlist& nl, AreaFactors f = AreaFactors{});
+
+/// Area of the AHB fabric sub-blocks, built from the same generators the
+/// power macromodels were characterized on.
+struct AhbAreaEstimate {
+  double decoder = 0.0;
+  double m2s_mux = 0.0;
+  double s2m_mux = 0.0;
+  double arbiter = 0.0;
+  [[nodiscard]] double total() const {
+    return decoder + m2s_mux + s2m_mux + arbiter;
+  }
+};
+
+/// Estimates the fabric area for a bus with the given shape
+/// (data/address widths in bits).
+[[nodiscard]] AhbAreaEstimate estimate_ahb_area(unsigned n_masters,
+                                                unsigned n_slaves,
+                                                unsigned data_width = 32,
+                                                unsigned addr_width = 32);
+
+}  // namespace ahbp::gate

@@ -1,0 +1,140 @@
+#include "gate/blif.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "sim/report.hpp"
+
+namespace ahbp::gate {
+
+using sim::SimError;
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> toks;
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+/// Maps a .names cover (set of input patterns implying output 1) back to
+/// a library gate type. Patterns are sorted for canonical comparison.
+GateType cover_to_gate(unsigned n_inputs, std::vector<std::string> patterns) {
+  std::sort(patterns.begin(), patterns.end());
+  if (n_inputs == 1) {
+    if (patterns == std::vector<std::string>{"0"}) return GateType::kNot;
+    if (patterns == std::vector<std::string>{"1"}) return GateType::kBuf;
+  } else if (n_inputs == 2) {
+    if (patterns == std::vector<std::string>{"11"}) return GateType::kAnd;
+    if (patterns == std::vector<std::string>{"-1", "1-"}) return GateType::kOr;
+    if (patterns == std::vector<std::string>{"-0", "0-"}) return GateType::kNand;
+    if (patterns == std::vector<std::string>{"00"}) return GateType::kNor;
+    if (patterns == std::vector<std::string>{"01", "10"}) return GateType::kXor;
+    if (patterns == std::vector<std::string>{"00", "11"}) return GateType::kXnor;
+  }
+  throw SimError("from_blif: cover does not match a library gate");
+}
+
+}  // namespace
+
+BlifModel from_blif(const std::string& text) {
+  BlifModel model;
+  std::map<std::string, NetId> nets;
+  auto net_of = [&](const std::string& name) {
+    const auto it = nets.find(name);
+    if (it != nets.end()) return it->second;
+    const NetId id = model.netlist.add_net(name);
+    nets.emplace(name, id);
+    return id;
+  };
+
+  // Join continuation lines (trailing backslash) and split into lines.
+  std::vector<std::string> lines;
+  {
+    std::istringstream is(text);
+    std::string line, pending;
+    while (std::getline(is, line)) {
+      if (!line.empty() && line.back() == '\\') {
+        pending += line.substr(0, line.size() - 1) + " ";
+        continue;
+      }
+      lines.push_back(pending + line);
+      pending.clear();
+    }
+    if (!pending.empty()) lines.push_back(pending);
+  }
+
+  bool seen_model = false;
+  bool ended = false;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    auto toks = tokenize(lines[li]);
+    if (toks.empty() || toks[0][0] == '#') continue;
+    if (ended) break;
+    const std::string& kw = toks[0];
+
+    if (kw == ".model") {
+      if (toks.size() < 2) throw SimError("from_blif: .model without a name");
+      model.name = toks[1];
+      seen_model = true;
+    } else if (kw == ".inputs") {
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        model.netlist.mark_input(net_of(toks[i]));
+      }
+    } else if (kw == ".outputs") {
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        model.netlist.mark_output(net_of(toks[i]));
+      }
+    } else if (kw == ".latch") {
+      // .latch <d> <q> [re clk [init]]
+      if (toks.size() < 3) throw SimError("from_blif: malformed .latch");
+      const NetId d = net_of(toks[1]);
+      // add_dff creates a fresh net; splice it under the declared name.
+      // Simplest correct handling: create q via helper gate mapping --
+      // the declared q must not already be driven.
+      const NetId q = net_of(toks[2]);
+      // Netlist::add_dff returns a new net, so emulate by driving q with
+      // a DFF through add_gate_onto-equivalent: there is no public API
+      // for "dff onto existing net", so connect via an internal net and
+      // a buffer: q = BUF(dff(d)).
+      const NetId qi = model.netlist.add_dff(d, toks[2] + "__ff");
+      model.netlist.add_gate_onto(GateType::kBuf, qi, kInvalidNet, q);
+    } else if (kw == ".names") {
+      if (toks.size() < 2) throw SimError("from_blif: .names without signals");
+      const std::vector<std::string> sig(toks.begin() + 1, toks.end());
+      const unsigned n_in = static_cast<unsigned>(sig.size()) - 1;
+      if (n_in < 1 || n_in > 2) {
+        throw SimError("from_blif: only 1- and 2-input covers supported");
+      }
+      // Collect the cover rows that follow.
+      std::vector<std::string> patterns;
+      while (li + 1 < lines.size()) {
+        auto next = tokenize(lines[li + 1]);
+        if (next.empty() || next[0][0] == '.') break;
+        if (next.size() != 2 || next[1] != "1") {
+          throw SimError("from_blif: only on-set single-output covers supported");
+        }
+        patterns.push_back(next[0]);
+        ++li;
+      }
+      const GateType g = cover_to_gate(n_in, patterns);
+      const NetId a = net_of(sig[0]);
+      const NetId b = n_in == 2 ? net_of(sig[1]) : kInvalidNet;
+      const NetId out = net_of(sig.back());
+      model.netlist.add_gate_onto(g, a, b, out);
+    } else if (kw == ".end") {
+      ended = true;
+    } else {
+      throw SimError("from_blif: unsupported construct '" + kw + "'");
+    }
+  }
+
+  if (!seen_model) throw SimError("from_blif: missing .model");
+  model.netlist.finalize();
+  return model;
+}
+
+}  // namespace ahbp::gate

@@ -1,0 +1,27 @@
+#pragma once
+// BLIF import -- the counterpart of Netlist::to_blif().
+//
+// Parses the structural subset SIS-era tools exchanged: .model, .inputs,
+// .outputs, .names with single-output covers matching our gate library,
+// .latch (rising-edge D flip-flops) and .end. This closes the loop with
+// the paper's flow: netlists characterized here can be round-tripped
+// through the same interchange format the authors fed to SIS.
+
+#include <string>
+
+#include "gate/netlist.hpp"
+
+namespace ahbp::gate {
+
+/// Result of parsing a BLIF model.
+struct BlifModel {
+  std::string name;
+  Netlist netlist;  ///< finalized
+};
+
+/// Parses one BLIF model. Throws sim::SimError on syntax errors, covers
+/// that do not correspond to a library gate, or structural violations
+/// (via Netlist::finalize()).
+[[nodiscard]] BlifModel from_blif(const std::string& text);
+
+}  // namespace ahbp::gate

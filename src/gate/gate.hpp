@@ -1,0 +1,10 @@
+#pragma once
+// Umbrella header for ahbp::gate -- the gate-level reference substrate
+// (netlists, structural generators, toggle-energy simulation).
+
+#include "gate/area.hpp"
+#include "gate/blif.hpp"
+#include "gate/gatesim.hpp"
+#include "gate/netlist.hpp"
+#include "gate/synth.hpp"
+#include "gate/tech.hpp"

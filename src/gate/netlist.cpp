@@ -1,0 +1,214 @@
+#include "gate/netlist.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/report.hpp"
+
+namespace ahbp::gate {
+
+using sim::SimError;
+
+const char* to_string(GateType t) {
+  switch (t) {
+    case GateType::kNot: return "not";
+    case GateType::kBuf: return "buf";
+    case GateType::kAnd: return "and";
+    case GateType::kOr: return "or";
+    case GateType::kNand: return "nand";
+    case GateType::kNor: return "nor";
+    case GateType::kXor: return "xor";
+    case GateType::kXnor: return "xnor";
+    case GateType::kDff: return "dff";
+  }
+  return "?";
+}
+
+int arity(GateType t) {
+  switch (t) {
+    case GateType::kNot:
+    case GateType::kBuf:
+    case GateType::kDff:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+bool eval_gate(GateType t, bool a, bool b) {
+  switch (t) {
+    case GateType::kNot: return !a;
+    case GateType::kBuf: return a;
+    case GateType::kAnd: return a && b;
+    case GateType::kOr: return a || b;
+    case GateType::kNand: return !(a && b);
+    case GateType::kNor: return !(a || b);
+    case GateType::kXor: return a != b;
+    case GateType::kXnor: return a == b;
+    case GateType::kDff: break;
+  }
+  throw SimError("eval_gate: not a combinational gate");
+}
+
+NetId Netlist::add_net(std::string name) {
+  if (name.empty()) name = "n" + std::to_string(net_names_.size());
+  net_names_.push_back(std::move(name));
+  return static_cast<NetId>(net_names_.size() - 1);
+}
+
+void Netlist::mark_input(NetId n) {
+  if (n >= net_count()) throw SimError("mark_input: bad net id");
+  inputs_.push_back(n);
+}
+
+void Netlist::mark_output(NetId n) {
+  if (n >= net_count()) throw SimError("mark_output: bad net id");
+  outputs_.push_back(n);
+}
+
+NetId Netlist::add_gate(GateType t, NetId a, NetId b) {
+  const NetId out = add_net();
+  add_gate_onto(t, a, b, out);
+  return out;
+}
+
+void Netlist::add_gate_onto(GateType t, NetId a, NetId b, NetId out) {
+  if (t == GateType::kDff) throw SimError("use add_dff for flip-flops");
+  if (a >= net_count() || out >= net_count()) throw SimError("add_gate: bad net id");
+  if (arity(t) == 2 && b >= net_count()) throw SimError("add_gate: bad second input");
+  if (arity(t) == 1) b = kInvalidNet;
+  gates_.push_back(GateInst{t, a, b, out});
+  finalized_ = false;
+}
+
+NetId Netlist::add_dff(NetId d, std::string q_name) {
+  if (d >= net_count()) throw SimError("add_dff: bad net id");
+  const NetId q = add_net(std::move(q_name));
+  gates_.push_back(GateInst{GateType::kDff, d, kInvalidNet, q});
+  finalized_ = false;
+  return q;
+}
+
+NetId Netlist::add_tree(GateType t2, const std::vector<NetId>& ins) {
+  if (arity(t2) != 2) throw SimError("add_tree: needs a binary gate type");
+  if (ins.empty()) throw SimError("add_tree: empty input list");
+  std::vector<NetId> level = ins;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(add_gate(t2, level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+std::size_t Netlist::dff_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const GateInst& g) { return g.type == GateType::kDff; }));
+}
+
+bool Netlist::is_input(NetId n) const {
+  return std::find(inputs_.begin(), inputs_.end(), n) != inputs_.end();
+}
+
+bool Netlist::is_output(NetId n) const {
+  return std::find(outputs_.begin(), outputs_.end(), n) != outputs_.end();
+}
+
+void Netlist::finalize() {
+  // Single-driver check: primary inputs and DFF outputs are "driven" too.
+  std::vector<int> drivers(net_count(), 0);
+  for (NetId n : inputs_) ++drivers[n];
+  for (const GateInst& g : gates_) ++drivers[g.out];
+  for (NetId n = 0; n < net_count(); ++n) {
+    if (drivers[n] > 1) {
+      throw SimError("netlist: net '" + net_names_[n] + "' has multiple drivers");
+    }
+    if (drivers[n] == 0) {
+      throw SimError("netlist: net '" + net_names_[n] + "' is undriven");
+    }
+  }
+
+  // Kahn topological sort over combinational gates. DFF outputs act as
+  // sources; DFF inputs are sinks, so state loops through a DFF are legal.
+  std::vector<bool> source_net(net_count(), false);
+  for (NetId n : inputs_) source_net[n] = true;
+  for (const GateInst& g : gates_) {
+    if (g.type == GateType::kDff) source_net[g.out] = true;
+  }
+  std::vector<std::vector<std::size_t>> consumers(net_count());
+  std::vector<int> pending(gates_.size(), 0);
+  std::vector<std::size_t> ready;
+  for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+    const GateInst& g = gates_[gi];
+    if (g.type == GateType::kDff) continue;
+    int deps = 0;
+    for (NetId in : {g.in0, g.in1}) {
+      if (in == kInvalidNet) continue;
+      // A net is immediately available if it is a primary input or a DFF
+      // output; otherwise we must wait for its driving gate.
+      if (!source_net[in]) {
+        consumers[in].push_back(gi);
+        ++deps;
+      }
+    }
+    pending[gi] = deps;
+    if (deps == 0) ready.push_back(gi);
+  }
+
+  topo_.clear();
+  while (!ready.empty()) {
+    const std::size_t gi = ready.back();
+    ready.pop_back();
+    topo_.push_back(gi);
+    for (std::size_t ci : consumers[gates_[gi].out]) {
+      if (--pending[ci] == 0) ready.push_back(ci);
+    }
+  }
+
+  std::size_t comb_gates = 0;
+  for (const GateInst& g : gates_) {
+    if (g.type != GateType::kDff) ++comb_gates;
+  }
+  if (topo_.size() != comb_gates) {
+    throw SimError("netlist: combinational cycle detected");
+  }
+  finalized_ = true;
+}
+
+std::string Netlist::to_blif(const std::string& model_name) const {
+  std::ostringstream os;
+  os << ".model " << model_name << '\n';
+  os << ".inputs";
+  for (NetId n : inputs_) os << ' ' << net_names_[n];
+  os << "\n.outputs";
+  for (NetId n : outputs_) os << ' ' << net_names_[n];
+  os << '\n';
+  for (const GateInst& g : gates_) {
+    if (g.type == GateType::kDff) {
+      os << ".latch " << net_names_[g.in0] << ' ' << net_names_[g.out] << " re clk 0\n";
+      continue;
+    }
+    os << ".names " << net_names_[g.in0];
+    if (g.in1 != kInvalidNet) os << ' ' << net_names_[g.in1];
+    os << ' ' << net_names_[g.out] << '\n';
+    switch (g.type) {
+      case GateType::kNot: os << "0 1\n"; break;
+      case GateType::kBuf: os << "1 1\n"; break;
+      case GateType::kAnd: os << "11 1\n"; break;
+      case GateType::kOr: os << "1- 1\n-1 1\n"; break;
+      case GateType::kNand: os << "0- 1\n-0 1\n"; break;
+      case GateType::kNor: os << "00 1\n"; break;
+      case GateType::kXor: os << "10 1\n01 1\n"; break;
+      case GateType::kXnor: os << "00 1\n11 1\n"; break;
+      case GateType::kDff: break;
+    }
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace ahbp::gate

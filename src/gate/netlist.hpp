@@ -1,0 +1,115 @@
+#pragma once
+// Gate-level netlists.
+//
+// A Netlist is a flat graph of primitive gates over single-bit nets. It is
+// the low-level reference the power macromodels are characterized and
+// validated against -- the role Berkeley SIS played in the paper. Only
+// what characterization needs is provided: structural construction,
+// validation (single driver, no combinational cycles) and levelization
+// for zero-delay simulation.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ahbp::gate {
+
+/// Index of a single-bit net within a Netlist.
+using NetId = std::uint32_t;
+inline constexpr NetId kInvalidNet = UINT32_MAX;
+
+/// Primitive gate kinds. All combinational gates take 1 (kNot, kBuf) or 2
+/// inputs; wider functions are built as trees. kDff is a posedge
+/// D-flip-flop clocked implicitly by GateSim::tick().
+enum class GateType : std::uint8_t {
+  kNot,
+  kBuf,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kDff,
+};
+
+[[nodiscard]] const char* to_string(GateType t);
+/// Number of data inputs the gate type takes.
+[[nodiscard]] int arity(GateType t);
+/// Evaluates a combinational gate (kDff not allowed here).
+[[nodiscard]] bool eval_gate(GateType t, bool a, bool b);
+
+/// One gate instance.
+struct GateInst {
+  GateType type;
+  NetId in0 = kInvalidNet;
+  NetId in1 = kInvalidNet;  ///< kInvalidNet for unary gates
+  NetId out = kInvalidNet;
+};
+
+/// A flat gate-level netlist.
+///
+/// Construction protocol: create nets (or let gate factories create their
+/// output nets), mark primary inputs/outputs, then call finalize() --
+/// which validates the structure and computes a topological order -- before
+/// handing the netlist to GateSim.
+class Netlist {
+public:
+  Netlist() = default;
+
+  /// @name Structure building
+  ///@{
+  NetId add_net(std::string name = "");
+  /// Marks an existing net as a primary input (driven by the testbench).
+  void mark_input(NetId n);
+  /// Marks an existing net as a primary output (gets C_O load in energy
+  /// accounting).
+  void mark_output(NetId n);
+  /// Adds a gate driving a fresh net; returns that net.
+  NetId add_gate(GateType t, NetId a, NetId b = kInvalidNet);
+  /// Adds a gate driving an existing (previously undriven) net.
+  void add_gate_onto(GateType t, NetId a, NetId b, NetId out);
+  /// Adds a D-flip-flop: q follows d at each GateSim::tick().
+  NetId add_dff(NetId d, std::string q_name = "");
+  ///@}
+
+  /// Builds convenience: balanced AND/OR tree over `ins` (>= 1 nets).
+  NetId add_tree(GateType t2, const std::vector<NetId>& ins);
+
+  /// Validates (every non-input net has exactly one driver; no
+  /// combinational cycles) and computes the evaluation order. Throws
+  /// ahbp::sim::SimError on violations.
+  void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  /// @name Introspection
+  ///@{
+  [[nodiscard]] std::size_t net_count() const { return net_names_.size(); }
+  [[nodiscard]] std::size_t gate_count() const { return gates_.size(); }
+  [[nodiscard]] std::size_t dff_count() const;
+  [[nodiscard]] const std::vector<GateInst>& gates() const { return gates_; }
+  [[nodiscard]] const std::vector<NetId>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<NetId>& outputs() const { return outputs_; }
+  [[nodiscard]] const std::string& net_name(NetId n) const { return net_names_[n]; }
+  [[nodiscard]] bool is_input(NetId n) const;
+  [[nodiscard]] bool is_output(NetId n) const;
+  /// Indices into gates() in topological (evaluation) order; valid after
+  /// finalize(). DFFs are excluded (they are sequential boundaries).
+  [[nodiscard]] const std::vector<std::size_t>& topo_order() const { return topo_; }
+  ///@}
+
+  /// Emits the netlist in (a subset of) BLIF, the interchange format SIS
+  /// used; handy for eyeballing generated structures.
+  [[nodiscard]] std::string to_blif(const std::string& model_name) const;
+
+private:
+  std::vector<std::string> net_names_;
+  std::vector<GateInst> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<std::size_t> topo_;
+  bool finalized_ = false;
+};
+
+}  // namespace ahbp::gate

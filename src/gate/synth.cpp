@@ -1,0 +1,167 @@
+#include "gate/synth.hpp"
+
+#include <string>
+
+#include "sim/report.hpp"
+
+namespace ahbp::gate {
+
+using sim::SimError;
+
+unsigned select_bits(unsigned n) {
+  if (n < 2) return 1;
+  unsigned bits = 0;
+  unsigned v = n - 1;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+namespace {
+
+/// Adds addr inputs plus their inverters; returns (true_nets, false_nets).
+struct AddressLiterals {
+  std::vector<NetId> pos;
+  std::vector<NetId> neg;
+};
+
+AddressLiterals add_address_literals(Netlist& nl, unsigned bits,
+                                     const std::string& prefix,
+                                     std::vector<NetId>& inputs_out) {
+  AddressLiterals lit;
+  for (unsigned b = 0; b < bits; ++b) {
+    const NetId a = nl.add_net(prefix + std::to_string(b));
+    nl.mark_input(a);
+    inputs_out.push_back(a);
+    lit.pos.push_back(a);
+    lit.neg.push_back(nl.add_gate(GateType::kNot, a));
+  }
+  return lit;
+}
+
+/// Builds the one-hot minterm for `index` over the given literals.
+NetId add_minterm(Netlist& nl, const AddressLiterals& lit, unsigned index) {
+  std::vector<NetId> terms;
+  for (unsigned b = 0; b < lit.pos.size(); ++b) {
+    terms.push_back((index >> b & 1u) != 0 ? lit.pos[b] : lit.neg[b]);
+  }
+  return nl.add_tree(GateType::kAnd, terms);
+}
+
+}  // namespace
+
+DecoderNetlist build_onehot_decoder(unsigned n_outputs) {
+  if (n_outputs < 2) throw SimError("build_onehot_decoder: need >= 2 outputs");
+  DecoderNetlist d;
+  const unsigned bits = select_bits(n_outputs);
+  const AddressLiterals lit = add_address_literals(d.nl, bits, "addr", d.addr);
+  for (unsigned o = 0; o < n_outputs; ++o) {
+    NetId term = add_minterm(d.nl, lit, o);
+    // Route through a buffer so the primary output has a dedicated driver
+    // (mirrors the output buffering of the synthesized structure).
+    const NetId out = d.nl.add_gate(GateType::kBuf, term);
+    d.nl.mark_output(out);
+    d.sel.push_back(out);
+  }
+  d.nl.finalize();
+  return d;
+}
+
+MuxNetlist build_mux(unsigned width, unsigned n_inputs) {
+  if (width < 1) throw SimError("build_mux: need width >= 1");
+  if (n_inputs < 2) throw SimError("build_mux: need >= 2 inputs");
+  MuxNetlist m;
+  const unsigned bits = select_bits(n_inputs);
+  const AddressLiterals lit = add_address_literals(m.nl, bits, "sel", m.sel);
+
+  // Shared one-hot select decode.
+  std::vector<NetId> onehot;
+  for (unsigned i = 0; i < n_inputs; ++i) onehot.push_back(add_minterm(m.nl, lit, i));
+
+  m.data.resize(n_inputs);
+  for (unsigned i = 0; i < n_inputs; ++i) {
+    for (unsigned b = 0; b < width; ++b) {
+      const NetId in = m.nl.add_net("d" + std::to_string(i) + "_" + std::to_string(b));
+      m.nl.mark_input(in);
+      m.data[i].push_back(in);
+    }
+  }
+  for (unsigned b = 0; b < width; ++b) {
+    std::vector<NetId> gated;
+    for (unsigned i = 0; i < n_inputs; ++i) {
+      gated.push_back(m.nl.add_gate(GateType::kAnd, m.data[i][b], onehot[i]));
+    }
+    const NetId out = m.nl.add_tree(GateType::kOr, gated);
+    m.nl.mark_output(out);
+    m.out.push_back(out);
+  }
+  m.nl.finalize();
+  return m;
+}
+
+ArbiterNetlist build_priority_arbiter(unsigned n_masters) {
+  if (n_masters < 2) throw SimError("build_priority_arbiter: need >= 2 masters");
+  ArbiterNetlist a;
+  const unsigned bits = select_bits(n_masters);
+
+  for (unsigned i = 0; i < n_masters; ++i) {
+    const NetId r = a.nl.add_net("req" + std::to_string(i));
+    a.nl.mark_input(r);
+    a.req.push_back(r);
+  }
+
+  // wins_i = req_i AND NOT(req_0 OR ... OR req_{i-1}); master 0 has the
+  // highest priority. If nobody requests, the default master (0) wins.
+  std::vector<NetId> wins(n_masters);
+  NetId any_higher = kInvalidNet;
+  for (unsigned i = 0; i < n_masters; ++i) {
+    if (i == 0) {
+      wins[0] = a.nl.add_gate(GateType::kBuf, a.req[0]);
+      any_higher = a.req[0];
+    } else {
+      const NetId none_higher = a.nl.add_gate(GateType::kNot, any_higher);
+      wins[i] = a.nl.add_gate(GateType::kAnd, a.req[i], none_higher);
+      any_higher = a.nl.add_gate(GateType::kOr, any_higher, a.req[i]);
+    }
+  }
+
+  // next_state bit b = OR of wins_i over masters whose index has bit b set.
+  // (Master 0 contributes no bits; the all-zero state doubles as the
+  // default-master grant, so idle buses park on master 0.)
+  std::vector<NetId> next_state(bits);
+  for (unsigned b = 0; b < bits; ++b) {
+    std::vector<NetId> contributors;
+    for (unsigned i = 1; i < n_masters; ++i) {
+      if ((i >> b & 1u) != 0) contributors.push_back(wins[i]);
+    }
+    if (contributors.empty()) {
+      // No master index uses this bit: constant 0 via AND(req0, !req0).
+      const NetId n0 = a.nl.add_gate(GateType::kNot, a.req[0]);
+      next_state[b] = a.nl.add_gate(GateType::kAnd, a.req[0], n0);
+    } else {
+      next_state[b] = a.nl.add_tree(GateType::kOr, contributors);
+    }
+  }
+
+  for (unsigned b = 0; b < bits; ++b) {
+    a.state.push_back(a.nl.add_dff(next_state[b], "state" + std::to_string(b)));
+  }
+
+  // Registered one-hot grant decode from the state bits.
+  AddressLiterals lit;
+  for (unsigned b = 0; b < bits; ++b) {
+    lit.pos.push_back(a.state[b]);
+    lit.neg.push_back(a.nl.add_gate(GateType::kNot, a.state[b]));
+  }
+  for (unsigned i = 0; i < n_masters; ++i) {
+    const NetId g = a.nl.add_gate(GateType::kBuf, add_minterm(a.nl, lit, i));
+    a.nl.mark_output(g);
+    a.grant.push_back(g);
+  }
+  a.nl.finalize();
+  return a;
+}
+
+}  // namespace ahbp::gate

@@ -1,0 +1,57 @@
+#pragma once
+// Structural generators for the AHB sub-blocks at gate level.
+//
+// These produce exactly the structures the paper characterized:
+//  * a one-hot address decoder built from NOT and AND gates (Sec. 5.1),
+//  * a generic n-to-1 multiplexer of width w,
+//  * a simplified priority arbiter modeled as a Moore FSM.
+//
+// The returned bundles expose the primary-input/-output nets so
+// characterization code (charlib) can drive them and fit macromodels.
+
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace ahbp::gate {
+
+/// Number of select/address bits needed for `n` alternatives -- the
+/// paper's "first integer greater than log2(n-1)" (== ceil(log2 n),
+/// minimum 1).
+[[nodiscard]] unsigned select_bits(unsigned n);
+
+/// One-hot decoder: addr (binary) -> sel (one-hot among n_outputs).
+struct DecoderNetlist {
+  Netlist nl;
+  std::vector<NetId> addr;  ///< n_I binary address inputs (LSB first)
+  std::vector<NetId> sel;   ///< n_O one-hot select outputs
+};
+/// Builds a decoder with n_outputs >= 2 outputs from NOT and AND gates.
+[[nodiscard]] DecoderNetlist build_onehot_decoder(unsigned n_outputs);
+
+/// n-to-1 multiplexer: out = data[sel], bit-sliced over `width` bits.
+struct MuxNetlist {
+  Netlist nl;
+  std::vector<std::vector<NetId>> data;  ///< [input][bit] data inputs
+  std::vector<NetId> sel;                ///< binary select inputs (LSB first)
+  std::vector<NetId> out;                ///< width output bits
+};
+/// Builds a mux with n_inputs >= 2 inputs of `width` >= 1 bits each.
+[[nodiscard]] MuxNetlist build_mux(unsigned width, unsigned n_inputs);
+
+/// Simplified bus arbiter as a Moore FSM:
+///   state (DFF register) = index of the granted master (binary);
+///   next state = highest-priority requester (master 0 = highest), or the
+///   default master 0 when nobody requests;
+///   grant outputs = one-hot decode of the state.
+struct ArbiterNetlist {
+  Netlist nl;
+  std::vector<NetId> req;    ///< n request inputs
+  std::vector<NetId> grant;  ///< n one-hot grant outputs (registered state)
+  std::vector<NetId> state;  ///< DFF outputs (binary master index)
+};
+/// Builds an arbiter FSM for n_masters >= 2 masters. Advance it with
+/// GateSim::tick().
+[[nodiscard]] ArbiterNetlist build_priority_arbiter(unsigned n_masters);
+
+}  // namespace ahbp::gate

@@ -1,0 +1,29 @@
+#pragma once
+// Synthetic technology parameters for gate-level energy accounting.
+//
+// The paper characterized its macromodels against a real library through
+// SIS; we have no such library, so these constants define a plausible
+// 2003-era (0.35 um, 3.3 V) process, calibrated so that the per-
+// instruction energies of the paper's testbench land in its reported
+// 14-23 pJ band. Absolute joules are synthetic by construction -- what
+// matters is that every experiment uses the same constants, so relative
+// comparisons (the paper's actual claims) hold.
+
+namespace ahbp::gate {
+
+/// Process constants used by GateSim and by the analytic macromodels.
+struct Technology {
+  double vdd = 3.3;        ///< supply voltage [V]
+  double c_node = 10e-15;  ///< equivalent output capacitance per node [F]
+  double c_in = 3e-15;     ///< input capacitance per driven gate pin [F]
+  double c_out = 50e-15;   ///< extra wire/pad load on primary outputs [F]
+
+  /// Energy drawn from the supply per output transition of a node with
+  /// total capacitance `c`: the classic CV^2/2.
+  [[nodiscard]] double toggle_energy(double c) const { return 0.5 * c * vdd * vdd; }
+
+  /// The default instance shared by the whole library.
+  [[nodiscard]] static Technology default_2003() { return Technology{}; }
+};
+
+}  // namespace ahbp::gate

@@ -1,0 +1,41 @@
+#include "power/activity.hpp"
+
+namespace ahbp::power {
+
+unsigned ActivityChannel::store_activity(std::uint64_t value) {
+  if (has_value_) {
+    last_hd_ = hamming(last_value_, value);
+  } else {
+    last_hd_ = 0;
+    has_value_ = true;
+  }
+  bit_changes_ += last_hd_;
+  if (last_hd_ != 0) ++nonzero_;
+  last_value_ = value;
+  ++samples_;
+  return last_hd_;
+}
+
+double ActivityChannel::mean_hd() const {
+  if (samples_ < 2) return 0.0;
+  return static_cast<double>(bit_changes_) / static_cast<double>(samples_ - 1);
+}
+
+void ActivityChannel::reset() { *this = ActivityChannel{}; }
+
+ActivityChannel& Activity::channel(const std::string& name) { return channels_[name]; }
+
+const ActivityChannel* Activity::find(const std::string& name) const {
+  const auto it = channels_.find(name);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Activity::bit_change_count() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, ch] : channels_) total += ch.bit_change_count();
+  return total;
+}
+
+void Activity::reset() { channels_.clear(); }
+
+}  // namespace ahbp::power

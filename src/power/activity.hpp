@@ -1,0 +1,85 @@
+#pragma once
+// Switching-activity bookkeeping -- the paper's `Activity` class.
+//
+// The instrumentation phase of the methodology (Sec. 5.3) adds "a
+// specialized object class ... for the dynamic monitoring and the storage
+// of the activity of the I/O signals of the different blocks", with
+// methods bit_change_count() and store_activity(). ActivityChannel is
+// that class for one signal; Activity groups named channels (the paper's
+// "Masters signals activity storage / Slaves signals activity storage").
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ahbp::power {
+
+/// Hamming distance between two words: the number of toggling bits --
+/// the central activity measure of the paper's macromodels.
+[[nodiscard]] constexpr unsigned hamming(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a ^ b;
+  unsigned n = 0;
+  while (x != 0) {
+    x &= x - 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Switching-activity accumulator for one observed signal.
+///
+/// Feed it the signal's value once per observation point (bus event /
+/// clock cycle); it tracks the Hamming distance of consecutive values.
+class ActivityChannel {
+public:
+  /// Records `value` as the next observation. Returns the Hamming
+  /// distance to the previous observation (0 for the first).
+  unsigned store_activity(std::uint64_t value);
+
+  /// Total bits changed across all observations.
+  [[nodiscard]] std::uint64_t bit_change_count() const { return bit_changes_; }
+  /// Number of observations whose Hamming distance was non-zero (the
+  /// empirical "signal changed" probability numerator, used by the
+  /// analytic estimator for non-linear macromodel terms).
+  [[nodiscard]] std::uint64_t nonzero_count() const { return nonzero_; }
+  /// Hamming distance recorded by the most recent store_activity().
+  [[nodiscard]] unsigned last_hd() const { return last_hd_; }
+  /// Number of observations so far.
+  [[nodiscard]] std::uint64_t sample_count() const { return samples_; }
+  /// Mean Hamming distance per observation (0 if fewer than 2 samples).
+  [[nodiscard]] double mean_hd() const;
+  /// Previous observed value.
+  [[nodiscard]] std::uint64_t last_value() const { return last_value_; }
+
+  void reset();
+
+private:
+  std::uint64_t last_value_ = 0;
+  bool has_value_ = false;
+  unsigned last_hd_ = 0;
+  std::uint64_t bit_changes_ = 0;
+  std::uint64_t nonzero_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+/// A named group of activity channels -- one per monitored bus signal.
+class Activity {
+public:
+  /// Channel accessor; creates the channel on first use.
+  [[nodiscard]] ActivityChannel& channel(const std::string& name);
+  [[nodiscard]] const ActivityChannel* find(const std::string& name) const;
+
+  /// Sum of bit_change_count() over all channels.
+  [[nodiscard]] std::uint64_t bit_change_count() const;
+
+  [[nodiscard]] const std::map<std::string, ActivityChannel>& channels() const {
+    return channels_;
+  }
+
+  void reset();
+
+private:
+  std::map<std::string, ActivityChannel> channels_;
+};
+
+}  // namespace ahbp::power

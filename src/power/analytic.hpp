@@ -1,0 +1,72 @@
+#pragma once
+// Analytic (simulation-free) power prediction.
+//
+// The paper lists "the switching-activity, the probability of a signal or
+// the Hamming distance between two successive data" as macromodel
+// inputs. Because every sub-block macromodel is linear in its activity
+// features (only the decoder's HD_OUT term is an indicator), the
+// *expected* energy per cycle follows in closed form from workload
+// statistics -- no simulation needed. That makes the earliest possible
+// estimate in the methodology's ladder: assume activity statistics,
+// read off power.
+
+#include <cstdint>
+
+#include "power/activity.hpp"
+#include "power/power_fsm.hpp"
+
+namespace ahbp::power {
+
+/// Per-cycle expected switching statistics of a workload.
+struct WorkloadStats {
+  double hd_addr = 0.0;    ///< E[HD(HADDR)] per cycle
+  double hd_ctl = 0.0;     ///< E[HD(control bundle)]
+  double hd_wdata = 0.0;   ///< E[HD(HWDATA)]
+  double hd_rdata = 0.0;   ///< E[HD(HRDATA)]
+  double hd_resp = 0.0;    ///< E[HD(response bundle)]
+  double hd_req = 0.0;     ///< E[HD(HBUSREQ vector)]
+  double hd_grant = 0.0;   ///< E[HD(HGRANT vector)]
+  double hd_dslave = 0.0;  ///< E[HD(data-phase slave index)]
+  double p_addr_change = 0.0;  ///< P[HADDR changed] (decoder HD_OUT term)
+  double p_handover = 0.0;     ///< P[HMASTER changed]
+};
+
+/// Closed-form expected energy from the same macromodels PowerFsm uses.
+class AnalyticPowerModel {
+public:
+  explicit AnalyticPowerModel(PowerFsm::Config cfg);
+
+  /// Expected energy of one bus cycle under the given statistics [J].
+  [[nodiscard]] double energy_per_cycle(const WorkloadStats& s) const;
+  /// Expected power at clock frequency f [W].
+  [[nodiscard]] double power(const WorkloadStats& s, double f_hz) const {
+    return energy_per_cycle(s) * f_hz;
+  }
+  /// Expected per-block energy for one cycle.
+  [[nodiscard]] BlockEnergy blocks_per_cycle(const WorkloadStats& s) const;
+
+  /// Extracts the statistics a finished run actually had, from the power
+  /// FSM's activity storage. Feeding these back into energy_per_cycle()
+  /// reproduces the simulated energy (exactly, up to the indicator
+  /// terms' empirical probabilities).
+  [[nodiscard]] static WorkloadStats from_activity(const Activity& a,
+                                                   std::uint64_t cycles,
+                                                   double p_handover);
+
+  /// A priori statistics for the paper-testbench workload class:
+  /// `transfer_fraction` of cycles carry a data phase, `write_fraction`
+  /// of those are writes, payloads are uniform random words in a
+  /// `addr_window`-byte address window.
+  [[nodiscard]] static WorkloadStats assume_random_traffic(
+      double transfer_fraction, double write_fraction, std::uint32_t addr_window,
+      unsigned data_width = 32);
+
+private:
+  PowerFsm::Config cfg_;
+  DecoderModel dec_;
+  MuxModel m2s_;
+  MuxModel s2m_;
+  ArbiterFsmModel arb_;
+};
+
+}  // namespace ahbp::power

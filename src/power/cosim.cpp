@@ -1,0 +1,129 @@
+#include "power/cosim.hpp"
+
+#include <cmath>
+
+#include "power/activity.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::power {
+
+using sim::SimError;
+
+// ---------------------------------------------------------------------------
+// CosimSeries
+
+double CosimSeries::model_total() const {
+  double s = 0.0;
+  for (double v : model) s += v;
+  return s;
+}
+
+double CosimSeries::gate_total() const {
+  double s = 0.0;
+  for (double v : gate) s += v;
+  return s;
+}
+
+double CosimSeries::correlation() const {
+  const std::size_t n = model.size();
+  if (n < 2 || gate.size() != n) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += model[i];
+    my += gate[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = model[i] - mx;
+    const double dy = gate[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double CosimSeries::totals_ratio() const {
+  const double g = gate_total();
+  return g > 0 ? model_total() / g : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// GateLevelCrossCheck
+
+GateLevelCrossCheck::GateLevelCrossCheck(sim::Module* parent, std::string name,
+                                         ahb::AhbBus& bus)
+    : GateLevelCrossCheck(parent, std::move(name), bus,
+                          gate::Technology::default_2003()) {}
+
+GateLevelCrossCheck::GateLevelCrossCheck(sim::Module* parent, std::string name,
+                                         ahb::AhbBus& bus, gate::Technology tech)
+    : Module(parent, std::move(name)),
+      bus_(bus),
+      tech_(tech),
+      mux_nl_(gate::build_mux(32, std::max(2u, bus.n_masters()))),
+      mux_sim_(mux_nl_.nl, tech),
+      mux_model_(32, std::max(2u, bus.n_masters()), tech),
+      prev_master_addr_(bus.n_masters(), 0),
+      arb_nl_(gate::build_priority_arbiter(std::max(2u, bus.n_masters()))),
+      arb_sim_(arb_nl_.nl, tech),
+      arb_model_(std::max(2u, bus.n_masters()), tech),
+      proc_(this, "cosim", [this] { on_cycle(); }) {
+  if (!bus.finalized()) {
+    throw SimError("GateLevelCrossCheck: bus must be finalized first");
+  }
+  proc_.sensitive(bus.clock().negedge_event()).dont_initialize();
+}
+
+void GateLevelCrossCheck::on_cycle() {
+  ++cycles_;
+  const ahb::BusSignals& b = bus_.bus();
+  const unsigned n_masters = bus_.n_masters();
+
+  // --- address-path mux ---------------------------------------------------
+  // Drive the gate mux with every master's live HADDR and the arbiter's
+  // HMASTER as select; its output equals the bus address.
+  unsigned hd_in = 0;
+  const std::uint8_t hm = b.hmaster.read();
+  for (unsigned m = 0; m < n_masters; ++m) {
+    const std::uint32_t a = bus_.m2s().input(m).haddr.read();
+    if (m == hm) hd_in = hamming(prev_master_addr_[m], a);
+    prev_master_addr_[m] = a;
+    for (unsigned bit = 0; bit < 32; ++bit) {
+      mux_sim_.set_input(mux_nl_.data[m][bit], (a >> bit & 1u) != 0);
+    }
+  }
+  for (unsigned bit = 0; bit < mux_nl_.sel.size(); ++bit) {
+    mux_sim_.set_input(mux_nl_.sel[bit], (hm >> bit & 1u) != 0);
+  }
+  mux_sim_.reset_accounting();
+  mux_sim_.eval();
+  const double gate_mux_e = mux_sim_.energy();
+
+  const std::uint32_t addr_out = b.haddr.read();
+  const unsigned hd_out = hamming(prev_addr_out_, addr_out);
+  const unsigned hd_sel = hm != prev_hmaster_ ? 2u : 0u;
+  prev_addr_out_ = addr_out;
+  prev_hmaster_ = hm;
+  mux_series_.model.push_back(mux_model_.energy(hd_in, hd_sel, hd_out));
+  mux_series_.gate.push_back(gate_mux_e);
+
+  // --- arbiter -------------------------------------------------------------
+  const std::uint32_t req = bus_.arbiter().request_vector();
+  for (unsigned m = 0; m < n_masters; ++m) {
+    arb_sim_.set_input(arb_nl_.req[m], (req >> m & 1u) != 0);
+  }
+  arb_sim_.reset_accounting();
+  arb_sim_.tick();
+  const double gate_arb_e = arb_sim_.energy();
+
+  const bool handover = hd_sel != 0;
+  arb_series_.model.push_back(arb_model_.energy(hamming(prev_req_, req), handover));
+  arb_series_.gate.push_back(gate_arb_e);
+  prev_req_ = req;
+}
+
+}  // namespace ahbp::power

@@ -1,0 +1,73 @@
+#include "power/estimator.hpp"
+
+#include "sim/report.hpp"
+
+namespace ahbp::power {
+
+using sim::SimError;
+
+AhbPowerEstimator::AhbPowerEstimator(sim::Module* parent, std::string name,
+                                     ahb::AhbBus& bus)
+    : AhbPowerEstimator(parent, std::move(name), bus, Config{}) {}
+
+AhbPowerEstimator::AhbPowerEstimator(sim::Module* parent, std::string name,
+                                     ahb::AhbBus& bus, Config cfg)
+    : Module(parent, std::move(name)),
+      bus_(bus),
+      cfg_(cfg),
+      fsm_(PowerFsm::Config{.n_masters = bus.n_masters(),
+                            .n_slaves = bus.n_slaves(),
+                            .data_width = 32,
+                            .addr_width = 32,
+                            .control_width = 8,
+                            .tech = cfg.tech}),
+      proc_(this, "sample", [this] { on_cycle(); }) {
+  if (!bus.finalized()) {
+    throw SimError("AhbPowerEstimator: bus must be finalized first");
+  }
+  if (cfg_.trace_window > sim::SimTime::zero()) {
+    trace_ = std::make_unique<PowerTrace>(cfg_.trace_window);
+  }
+  // Sample at the falling edge: every value driven at the rising edge has
+  // settled by mid-cycle, so one sample sees the whole cycle's state.
+  proc_.sensitive(bus.clock().negedge_event()).dont_initialize();
+}
+
+CycleView AhbPowerEstimator::sample_view() const {
+  const ahb::BusSignals& b = bus_.bus();
+  CycleView v;
+  v.haddr = b.haddr.read();
+  v.htrans = b.htrans.read();
+  v.hwrite = b.hwrite.read();
+  v.hsize = b.hsize.read();
+  v.hburst = b.hburst.read();
+  v.hwdata = b.hwdata.read();
+  v.hrdata = b.hrdata.read();
+  v.hready = b.hready.read();
+  v.hresp = b.hresp.read();
+  v.hmaster = b.hmaster.read();
+  v.data_slave = bus_.pipeline().data_phase_slave().read();
+  v.data_active = bus_.pipeline().data_phase_active().read();
+  v.data_write = bus_.pipeline().data_phase_write().read();
+  // Request and grant vectors, assembled from the arbiter's attachments.
+  for (unsigned m = 0; m < bus_.n_masters(); ++m) {
+    if (bus_.hgrant(m).read()) v.grant_vector |= 1u << m;
+  }
+  v.req_vector = bus_.arbiter().request_vector();
+  return v;
+}
+
+void AhbPowerEstimator::on_cycle() {
+  if (!cfg_.enabled) return;
+  const CycleView v = sample_view();
+  const PowerFsm::StepResult r = fsm_.step(v);
+  if (trace_) trace_->record(kernel().now(), r.blocks);
+}
+
+void AhbPowerEstimator::flush_trace() {
+  if (trace_) trace_->flush();
+}
+
+sim::Clock& AhbPowerEstimator::bus_clock() const { return bus_.clock(); }
+
+}  // namespace ahbp::power

@@ -1,0 +1,72 @@
+#pragma once
+// AhbPowerEstimator: the methodology's "local model" integration style
+// (Fig. 1) and the library's main power-analysis entry point.
+//
+// A single monitor process is added beside the functional bus model; it
+// samples the settled bus signals once per cycle, feeds the power FSM,
+// and (optionally) builds a windowed power trace. The functional model is
+// untouched, and when disabled the monitor costs one virtual call per
+// cycle -- the executable-specification equivalent of compiling without
+// the paper's POWERTEST define is simply not constructing the estimator.
+
+#include <memory>
+#include <string>
+
+#include "ahb/bus.hpp"
+#include "power/power_fsm.hpp"
+#include "power/trace.hpp"
+#include "sim/module.hpp"
+#include "sim/process.hpp"
+
+namespace ahbp::power {
+
+/// Samples a finalized AhbBus once per cycle and runs the power FSM.
+class AhbPowerEstimator : public sim::Module {
+public:
+  struct Config {
+    gate::Technology tech = gate::Technology::default_2003();
+    /// Runtime bypass: when false, sampling returns immediately.
+    bool enabled = true;
+    /// Window for the power-versus-time trace; zero disables tracing.
+    sim::SimTime trace_window = sim::SimTime::zero();
+  };
+
+  /// The bus must already be finalized.
+  AhbPowerEstimator(sim::Module* parent, std::string name, ahb::AhbBus& bus);
+  AhbPowerEstimator(sim::Module* parent, std::string name, ahb::AhbBus& bus,
+                    Config cfg);
+
+  /// @name Results
+  ///@{
+  [[nodiscard]] const PowerFsm& fsm() const { return fsm_; }
+  [[nodiscard]] double total_energy() const { return fsm_.total_energy(); }
+  [[nodiscard]] const BlockEnergy& block_totals() const { return fsm_.block_totals(); }
+  /// Nullptr when tracing is disabled.
+  [[nodiscard]] const PowerTrace* trace() const { return trace_.get(); }
+  /// Closes the trace's current window (call after the run, before
+  /// reading the points).
+  void flush_trace();
+  ///@}
+
+  void set_enabled(bool on) { cfg_.enabled = on; }
+  [[nodiscard]] bool enabled() const { return cfg_.enabled; }
+
+  /// Builds the current settled-cycle view (also used by the other
+  /// integration styles and by tests).
+  [[nodiscard]] CycleView sample_view() const;
+
+  /// The clock of the monitored bus (used by downstream observers like
+  /// PowerGovernor to align their sampling).
+  [[nodiscard]] sim::Clock& bus_clock() const;
+
+private:
+  void on_cycle();
+
+  ahb::AhbBus& bus_;
+  Config cfg_;
+  PowerFsm fsm_;
+  std::unique_ptr<PowerTrace> trace_;
+  sim::Method proc_;
+};
+
+}  // namespace ahbp::power

@@ -1,0 +1,87 @@
+#include "power/macromodel.hpp"
+
+#include "gate/synth.hpp"
+#include "power/activity.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::power {
+
+using sim::SimError;
+
+// ---------------------------------------------------------------------------
+// LinearModel
+
+double LinearModel::energy(const std::vector<double>& features) const {
+  if (coeffs_.empty()) throw SimError("LinearModel: no coefficients");
+  if (features.size() + 1 != coeffs_.size()) {
+    throw SimError("LinearModel: feature count mismatch");
+  }
+  double e = coeffs_[0];
+  for (std::size_t i = 0; i < features.size(); ++i) e += coeffs_[i + 1] * features[i];
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// DecoderModel
+
+DecoderModel::DecoderModel(unsigned n_outputs, gate::Technology tech)
+    : n_outputs_(n_outputs), n_inputs_(gate::select_bits(n_outputs)), tech_(tech) {
+  if (n_outputs < 2) throw SimError("DecoderModel: need >= 2 outputs");
+}
+
+double DecoderModel::energy(unsigned hd_in) const {
+  // Paper, Sec. 5.1:
+  //   E_DEC = VDD^2/4 * (nO * nI * C_PD * HD_IN + 2 * HD_OUT * C_O)
+  const unsigned hd_out = hd_in >= 1 ? 1u : 0u;
+  const double vdd2_4 = tech_.vdd * tech_.vdd / 4.0;
+  return vdd2_4 * (static_cast<double>(n_outputs_) * n_inputs_ * tech_.c_node * hd_in +
+                   2.0 * hd_out * tech_.c_out);
+}
+
+double DecoderModel::energy(std::uint64_t prev_in, std::uint64_t cur_in) const {
+  return energy(hamming(prev_in, cur_in));
+}
+
+// ---------------------------------------------------------------------------
+// MuxModel
+
+MuxModel::MuxModel(unsigned width, unsigned n_inputs, gate::Technology tech)
+    : MuxModel(width, n_inputs, tech, Coefficients{}) {}
+
+MuxModel::MuxModel(unsigned width, unsigned n_inputs, gate::Technology tech,
+                   Coefficients k)
+    : width_(width), n_inputs_(n_inputs), tech_(tech), k_(k) {
+  if (width < 1 || n_inputs < 2) throw SimError("MuxModel: bad shape");
+}
+
+double MuxModel::energy(unsigned hd_in, unsigned hd_sel, unsigned hd_out) const {
+  const double vdd2_4 = tech_.vdd * tech_.vdd / 4.0;
+  return vdd2_4 * tech_.c_node *
+         (k_.k_in * hd_in + k_.k_sel * static_cast<double>(width_) * hd_sel +
+          k_.k_out * hd_out * (tech_.c_out / tech_.c_node));
+}
+
+// ---------------------------------------------------------------------------
+// ArbiterFsmModel
+
+ArbiterFsmModel::ArbiterFsmModel(unsigned n_masters, gate::Technology tech)
+    : n_masters_(n_masters) {
+  if (n_masters < 2) throw SimError("ArbiterFsmModel: need >= 2 masters");
+  const double vdd2_4 = tech.vdd * tech.vdd / 4.0;
+  const unsigned state_bits = gate::select_bits(n_masters);
+  // Background clocking of the state register (small, per cycle).
+  e_idle_ = vdd2_4 * tech.c_node * 0.5 * state_bits;
+  // One toggling request ripples through the priority chain (the wins_i
+  // AND/OR ladder re-evaluates below the flipped line; calibrated against
+  // the gate-level structure via charlib).
+  e_req_ = vdd2_4 * tech.c_node * 10.0;
+  // A handover toggles ~all state bits plus two one-hot grant outputs
+  // and their decode minterms.
+  e_grant_ = vdd2_4 * (tech.c_node * 5.0 * state_bits + 2.0 * tech.c_out);
+}
+
+double ArbiterFsmModel::energy(unsigned hd_req, bool handover) const {
+  return e_idle_ + e_req_ * hd_req + (handover ? e_grant_ : 0.0);
+}
+
+}  // namespace ahbp::power

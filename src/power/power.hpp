@@ -1,0 +1,25 @@
+#pragma once
+// Umbrella header for ahbp::power -- the paper's system-level power
+// analysis methodology.
+//
+//   Activity, ActivityChannel      -- switching-activity instrumentation
+//   DecoderModel, MuxModel,
+//   ArbiterFsmModel, LinearModel   -- sub-block energy macromodels
+//   PowerFsm                       -- instruction-level power FSM
+//   AhbPowerEstimator              -- "local" integration style (main API)
+//   PrivatePowerModel              -- "private" per-block style
+//   GlobalPowerAnalyzer + probe    -- "global" analyzer-module style
+//   PowerTrace                     -- power-vs-time windows (Figs 3-5)
+//   report.hpp                     -- Table 1 / Fig 6 rendering
+
+#include "power/activity.hpp"
+#include "power/analytic.hpp"
+#include "power/cosim.hpp"
+#include "power/estimator.hpp"
+#include "power/governor.hpp"
+#include "power/macromodel.hpp"
+#include "power/power_fsm.hpp"
+#include "power/report.hpp"
+#include "power/styles.hpp"
+#include "power/system.hpp"
+#include "power/trace.hpp"

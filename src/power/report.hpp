@@ -1,0 +1,74 @@
+#pragma once
+// Result rendering: the paper's Table 1 (per-instruction energy), the
+// Fig. 6 sub-block breakdown, power traces as CSV/series, and the
+// data-path-vs-arbitration energy split the paper's conclusion rests on.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "power/power_fsm.hpp"
+#include "power/trace.hpp"
+
+namespace ahbp::power {
+
+/// One row of the Table-1-style report.
+struct InstructionRow {
+  std::string instruction;
+  std::uint64_t count = 0;
+  double average_j = 0.0;  ///< average energy per execution [J]
+  double total_j = 0.0;    ///< total energy [J]
+  double percent = 0.0;    ///< of the whole simulation energy
+};
+
+/// Builds the instruction table, sorted by descending total energy.
+[[nodiscard]] std::vector<InstructionRow> instruction_table(const PowerFsm& fsm);
+
+/// Renders the table in the paper's format (average / total / percent).
+[[nodiscard]] std::string format_instruction_table(const PowerFsm& fsm);
+
+/// Fraction of total energy spent in data-transfer instructions with no
+/// bus handover (transitions between READ/WRITE modes, plus entering a
+/// transfer from plain IDLE). The paper reports ~87% for its testbench.
+[[nodiscard]] double data_transfer_share(const PowerFsm& fsm);
+
+/// Fraction of total energy in arbitration-related instructions (any
+/// instruction touching the IDLE_HO mode). The paper reports ~13%.
+[[nodiscard]] double arbitration_share(const PowerFsm& fsm);
+
+/// Renders the Fig. 6 sub-block contribution breakdown (M2S / DEC /
+/// ARB / S2M percentages).
+[[nodiscard]] std::string format_block_breakdown(const BlockEnergy& blocks);
+
+/// Renders the per-master energy attribution (who owns the bus when the
+/// energy is burned) -- the per-IP budget view. `names[i]` labels master
+/// i; missing names fall back to "master <i>".
+[[nodiscard]] std::string format_master_attribution(
+    const PowerFsm& fsm, const std::vector<std::string>& names = {});
+
+/// Writes a power trace as CSV: time_us, p_total_mw, p_arb_mw, p_dec_mw,
+/// p_m2s_mw, p_s2m_mw.
+void write_trace_csv(std::ostream& os, const PowerTrace& trace);
+
+/// Writes the instruction table as CSV: instruction, count, avg_pj,
+/// total_pj, percent.
+void write_instruction_csv(std::ostream& os, const PowerFsm& fsm);
+
+/// Renders the per-signal switching-activity summary gathered by the
+/// instrumentation (mean HD, total bit changes, change probability per
+/// monitored channel).
+[[nodiscard]] std::string format_activity_report(const Activity& activity);
+
+/// Renders one block's power series as a compact fixed-width listing
+/// (used by the figure benches). `block` selects "total", "arb", "dec",
+/// "m2s" or "s2m"; `until` truncates the series (zero = everything).
+[[nodiscard]] std::string format_trace(const PowerTrace& trace,
+                                       const std::string& block,
+                                       sim::SimTime until = sim::SimTime::zero());
+
+/// Pretty-prints an energy in engineering units (pJ/nJ/uJ).
+[[nodiscard]] std::string format_energy(double joules);
+/// Pretty-prints a power in engineering units (uW/mW).
+[[nodiscard]] std::string format_power(double watts);
+
+}  // namespace ahbp::power

@@ -1,0 +1,72 @@
+#include "power/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "power/report.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::power {
+
+MemoryEnergyModel::MemoryEnergyModel(std::uint32_t size_bytes,
+                                     gate::Technology tech)
+    : size_(size_bytes) {
+  if (size_bytes == 0) throw sim::SimError("MemoryEnergyModel: empty memory");
+  const double words = static_cast<double>(size_bytes) / 4.0;
+  // Row/column organization: switched capacitance per access grows with
+  // sqrt(words) (one wordline + 32 bitline segments), plus fixed
+  // sense-amp / IO capacitance.
+  const double c_array = tech.c_node * (16.0 + 32.0 * 0.25 * std::sqrt(words));
+  const double vdd2_2 = tech.vdd * tech.vdd / 2.0;
+  e_read_ = vdd2_2 * c_array;
+  // Writes drive the cells hard (full-swing bitlines): slightly costlier.
+  e_write_ = 1.2 * e_read_;
+  // Standby: decoder clocking only.
+  e_idle_ = vdd2_2 * tech.c_node * 0.1;
+}
+
+double MemoryEnergyModel::total(const ahb::MemorySlave::Stats& stats,
+                                std::uint64_t cycles) const {
+  const std::uint64_t accesses = stats.reads + stats.writes;
+  const std::uint64_t idle = cycles > accesses ? cycles - accesses : 0;
+  return static_cast<double>(stats.reads) * e_read_ +
+         static_cast<double>(stats.writes) * e_write_ +
+         static_cast<double>(idle) * e_idle_;
+}
+
+void SystemPowerSummary::add(std::string name, double energy_joules) {
+  items_.push_back(SystemPowerItem{std::move(name), energy_joules});
+}
+
+double SystemPowerSummary::total() const {
+  double t = 0.0;
+  for (const auto& it : items_) t += it.energy;
+  return t;
+}
+
+std::string SystemPowerSummary::format(double seconds) const {
+  std::vector<SystemPowerItem> sorted = items_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SystemPowerItem& a, const SystemPowerItem& b) {
+              return a.energy > b.energy;
+            });
+  const double t = total();
+  std::ostringstream os;
+  os << "System power roll-up:\n";
+  for (const auto& it : sorted) {
+    char line[160];
+    std::snprintf(line, sizeof line, "  %-18s %12s  %6.2f %%\n", it.name.c_str(),
+                  format_energy(it.energy).c_str(),
+                  t > 0 ? 100.0 * it.energy / t : 0.0);
+    os << line;
+  }
+  char tail[160];
+  std::snprintf(tail, sizeof tail, "  %-18s %12s  (avg %s)\n", "TOTAL",
+                format_energy(t).c_str(),
+                seconds > 0 ? format_power(t / seconds).c_str() : "-");
+  os << tail;
+  return os.str();
+}
+
+}  // namespace ahbp::power

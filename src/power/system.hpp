@@ -1,0 +1,71 @@
+#pragma once
+// Whole-system energy roll-up.
+//
+// The paper's methodology lineage ([4] Givargis/Vahid/Henkel,
+// "Instruction based system level power evaluation of SoC peripheral
+// cores") treats every core as an instruction-driven energy consumer.
+// This module extends our bus-centric analysis the same way: a simple
+// per-access energy model for memory slaves, and a summary that rolls
+// bus fabric + memories + APB into the system power picture a designer
+// budgets against.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ahb/slave.hpp"
+#include "gate/tech.hpp"
+
+namespace ahbp::power {
+
+/// Instruction-based energy model of a memory core: the instruction set
+/// is {READ access, WRITE access, idle cycle}.
+///
+///   E_access = VDD^2/2 * C_array(size)   (bitline/wordline switching)
+///   C_array grows with the square root of the word count (row/column
+///   organization splits the decode), plus a fixed sense/IO term.
+class MemoryEnergyModel {
+public:
+  MemoryEnergyModel(std::uint32_t size_bytes, gate::Technology tech);
+
+  [[nodiscard]] double read_energy() const { return e_read_; }
+  [[nodiscard]] double write_energy() const { return e_write_; }
+  /// Standby cost per idle cycle (clocking/leakage proxy).
+  [[nodiscard]] double idle_cycle_energy() const { return e_idle_; }
+
+  /// Total energy for a slave's recorded activity over `cycles` bus
+  /// cycles (accesses from its stats; the rest idles).
+  [[nodiscard]] double total(const ahb::MemorySlave::Stats& stats,
+                             std::uint64_t cycles) const;
+
+  [[nodiscard]] std::uint32_t size_bytes() const { return size_; }
+
+private:
+  std::uint32_t size_;
+  double e_read_;
+  double e_write_;
+  double e_idle_;
+};
+
+/// One line of the system roll-up.
+struct SystemPowerItem {
+  std::string name;
+  double energy = 0.0;  ///< [J]
+};
+
+/// The system power picture: bus fabric + every modeled core.
+class SystemPowerSummary {
+public:
+  void add(std::string name, double energy_joules);
+
+  [[nodiscard]] const std::vector<SystemPowerItem>& items() const { return items_; }
+  [[nodiscard]] double total() const;
+
+  /// Renders the roll-up with shares (largest first) and average power.
+  [[nodiscard]] std::string format(double seconds) const;
+
+private:
+  std::vector<SystemPowerItem> items_;
+};
+
+}  // namespace ahbp::power

@@ -1,0 +1,32 @@
+#include "power/trace.hpp"
+
+#include "sim/report.hpp"
+
+namespace ahbp::power {
+
+PowerTrace::PowerTrace(sim::SimTime window) : window_(window) {
+  if (window <= sim::SimTime::zero()) {
+    throw sim::SimError("PowerTrace: window must be positive");
+  }
+}
+
+void PowerTrace::record(sim::SimTime now, const BlockEnergy& e) {
+  const std::int64_t idx = now.femtoseconds() / window_.femtoseconds();
+  if (current_index_ < 0) current_index_ = idx;
+  while (idx > current_index_) {
+    // Close the current window (and any empty gap windows).
+    points_.push_back(Point{window_ * current_index_, acc_});
+    acc_ = BlockEnergy{};
+    ++current_index_;
+  }
+  acc_ += e;
+}
+
+void PowerTrace::flush() {
+  if (current_index_ < 0) return;
+  points_.push_back(Point{window_ * current_index_, acc_});
+  acc_ = BlockEnergy{};
+  ++current_index_;
+}
+
+}  // namespace ahbp::power

@@ -1,0 +1,59 @@
+#pragma once
+// Windowed power-versus-time traces (the paper's Figures 3-5).
+//
+// Energy is accumulated per fixed time window; each closed window yields
+// one point whose power is window energy / window duration, per sub-block
+// and total.
+
+#include <vector>
+
+#include "power/power_fsm.hpp"
+#include "sim/time.hpp"
+
+namespace ahbp::power {
+
+/// Accumulates per-cycle block energies into fixed windows.
+class PowerTrace {
+public:
+  struct Point {
+    sim::SimTime start;  ///< window start time
+    BlockEnergy energy;  ///< energy within the window [J]
+  };
+
+  explicit PowerTrace(sim::SimTime window);
+
+  /// Adds one cycle's energy at simulation time `now`. Windows are
+  /// closed automatically as `now` crosses boundaries.
+  void record(sim::SimTime now, const BlockEnergy& e);
+
+  /// Closes the current (partial) window so its data becomes visible.
+  void flush();
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] sim::SimTime window() const { return window_; }
+
+  /// Average power of a point [W].
+  [[nodiscard]] double power_total(const Point& p) const {
+    return p.energy.total() / window_.to_seconds();
+  }
+  [[nodiscard]] double power_arb(const Point& p) const {
+    return p.energy.arb / window_.to_seconds();
+  }
+  [[nodiscard]] double power_dec(const Point& p) const {
+    return p.energy.dec / window_.to_seconds();
+  }
+  [[nodiscard]] double power_m2s(const Point& p) const {
+    return p.energy.m2s / window_.to_seconds();
+  }
+  [[nodiscard]] double power_s2m(const Point& p) const {
+    return p.energy.s2m / window_.to_seconds();
+  }
+
+private:
+  sim::SimTime window_;
+  std::int64_t current_index_ = -1;
+  BlockEnergy acc_;
+  std::vector<Point> points_;
+};
+
+}  // namespace ahbp::power

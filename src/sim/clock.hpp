@@ -1,0 +1,53 @@
+#pragma once
+// Clock: a free-running boolean signal source.
+
+#include <string>
+
+#include "sim/module.hpp"
+#include "sim/process.hpp"
+#include "sim/signal.hpp"
+
+namespace ahbp::sim {
+
+/// Generates a periodic boolean waveform on an internal Signal<bool>.
+///
+/// The first edge is the rising edge at `start_delay` (default: time 0 is
+/// already high is avoided -- the clock initializes low and rises at
+/// start_delay, so method processes sensitive to posedge see a clean first
+/// cycle).
+class Clock : public Module {
+public:
+  /// period must be positive; duty in (0, 1).
+  Clock(Module* parent, std::string name, SimTime period, double duty = 0.5,
+        SimTime start_delay = SimTime::zero());
+
+  /// The generated waveform.
+  [[nodiscard]] Signal<bool>& signal() { return sig_; }
+  [[nodiscard]] const Signal<bool>& signal() const { return sig_; }
+
+  /// Current clock level.
+  [[nodiscard]] bool read() const { return sig_.read(); }
+
+  /// Convenience accessors for sensitivity lists.
+  [[nodiscard]] Event& posedge_event() { return sig_.posedge_event(); }
+  [[nodiscard]] Event& negedge_event() { return sig_.negedge_event(); }
+
+  [[nodiscard]] SimTime period() const { return period_; }
+
+  [[nodiscard]] const char* kind() const override { return "clock"; }
+
+private:
+  void tick();
+
+  SimTime period_;
+  SimTime high_time_;
+  SimTime low_time_;
+  SimTime start_delay_;
+  bool started_ = false;
+  bool next_value_ = true;
+  Signal<bool> sig_;
+  Event tick_event_;
+  Method driver_;
+};
+
+}  // namespace ahbp::sim

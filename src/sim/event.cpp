@@ -1,0 +1,78 @@
+#include "sim/event.hpp"
+
+#include <algorithm>
+
+#include "sim/kernel.hpp"
+#include "sim/process.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::sim {
+
+Event::Event(Module* parent, std::string name) : Object(parent, std::move(name)) {}
+
+Event::~Event() = default;
+
+void Event::notify() {
+  // Immediate notification: fire now, and drop any pending notification
+  // (immediate is the earliest possible, so it always overrides).
+  pending_ = Pending::kNone;
+  ++stamp_;
+  trigger();
+}
+
+void Event::notify_delta() {
+  if (pending_ == Pending::kDelta) return;  // already as early as possible
+  // A pending timed notification is later than a delta one: override it.
+  pending_ = Pending::kDelta;
+  ++stamp_;
+  kernel().schedule_delta(*this);
+}
+
+void Event::notify(SimTime delay) {
+  if (delay <= SimTime::zero()) {
+    notify_delta();
+    return;
+  }
+  const SimTime abs = kernel().now() + delay;
+  if (pending_ == Pending::kDelta) return;  // pending delta is earlier
+  if (pending_ == Pending::kTimed && pending_time_ <= abs) return;
+  pending_ = Pending::kTimed;
+  pending_time_ = abs;
+  ++stamp_;
+  kernel().schedule_timed(*this, abs, stamp_);
+}
+
+void Event::cancel() {
+  // Lazy cancellation: queued entries carry the stamp and are discarded
+  // when popped if it no longer matches.
+  pending_ = Pending::kNone;
+  ++stamp_;
+}
+
+void Event::add_static(Process& p) { static_sensitive_.push_back(&p); }
+
+void Event::remove_static(Process& p) {
+  auto& v = static_sensitive_;
+  v.erase(std::remove(v.begin(), v.end(), &p), v.end());
+}
+
+void Event::add_dynamic(Process& p) { dynamic_waiters_.push_back(&p); }
+
+void Event::remove_dynamic(Process& p) {
+  auto& v = dynamic_waiters_;
+  v.erase(std::remove(v.begin(), v.end(), &p), v.end());
+}
+
+void Event::trigger() {
+  last_triggered_ = kernel().now();
+  for (Process* p : static_sensitive_) kernel().make_runnable(*p);
+  if (!dynamic_waiters_.empty()) {
+    // One-shot semantics: move the list out first, since a woken process
+    // may re-subscribe during the same evaluation phase.
+    std::vector<Process*> waiters;
+    waiters.swap(dynamic_waiters_);
+    for (Process* p : waiters) kernel().make_runnable(*p);
+  }
+}
+
+}  // namespace ahbp::sim

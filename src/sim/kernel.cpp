@@ -1,0 +1,141 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+#include "sim/event.hpp"
+#include "sim/object.hpp"
+#include "sim/process.hpp"
+#include "sim/report.hpp"
+#include "sim/signal.hpp"
+
+namespace ahbp::sim {
+
+Kernel* Kernel::current_ = nullptr;
+
+Kernel::Kernel() {
+  if (current_ != nullptr) {
+    throw SimError("only one Kernel may be alive at a time");
+  }
+  current_ = this;
+}
+
+Kernel::~Kernel() { current_ = nullptr; }
+
+Kernel& Kernel::current() {
+  if (current_ == nullptr) throw SimError("no Kernel is alive");
+  return *current_;
+}
+
+Kernel* Kernel::current_or_null() { return current_; }
+
+void Kernel::register_object(Object& o) { objects_.push_back(&o); }
+
+void Kernel::unregister_object(Object& o) {
+  objects_.erase(std::remove(objects_.begin(), objects_.end(), &o), objects_.end());
+}
+
+void Kernel::register_process(Process& p) { processes_.push_back(&p); }
+
+void Kernel::unregister_process(Process& p) {
+  processes_.erase(std::remove(processes_.begin(), processes_.end(), &p),
+                   processes_.end());
+  runnable_.erase(std::remove(runnable_.begin(), runnable_.end(), &p), runnable_.end());
+}
+
+void Kernel::make_runnable(Process& p) {
+  if (p.in_runnable_ || p.done_) return;
+  p.in_runnable_ = true;
+  runnable_.push_back(&p);
+}
+
+void Kernel::schedule_delta(Event& e) { delta_queue_.push_back(&e); }
+
+void Kernel::schedule_timed(Event& e, SimTime abs_time, std::uint64_t stamp) {
+  timed_queue_.push(TimedEntry{abs_time, timed_seq_++, &e, stamp});
+}
+
+void Kernel::request_update(SignalBase& s) { update_queue_.push_back(&s); }
+
+void Kernel::add_timestep_callback(std::function<void()> cb) {
+  timestep_callbacks_.push_back(std::move(cb));
+}
+
+void Kernel::initialize() {
+  initialized_ = true;
+  for (Process* p : processes_) {
+    if (p->initialize_) make_runnable(*p);
+  }
+}
+
+void Kernel::do_delta() {
+  // --- evaluate ---------------------------------------------------------
+  // Processes made runnable during this phase (immediate notifications)
+  // also run in it, so iterate by index.
+  for (std::size_t i = 0; i < runnable_.size(); ++i) {
+    Process* p = runnable_[i];
+    p->in_runnable_ = false;
+    p->execute();
+  }
+  runnable_.clear();
+
+  // --- update -----------------------------------------------------------
+  // Applying a signal's new value may queue its value-changed event as a
+  // delta notification (handled below).
+  std::vector<SignalBase*> updates;
+  updates.swap(update_queue_);
+  for (SignalBase* s : updates) s->apply_update();
+
+  // --- delta notification ------------------------------------------------
+  std::vector<Event*> deltas;
+  deltas.swap(delta_queue_);
+  for (Event* e : deltas) {
+    if (e->pending_ != Event::Pending::kDelta) continue;  // cancelled
+    e->pending_ = Event::Pending::kNone;
+    e->trigger();
+  }
+  ++delta_count_;
+}
+
+void Kernel::fire_timestep_callbacks() {
+  for (const auto& cb : timestep_callbacks_) cb();
+}
+
+void Kernel::run(SimTime duration) {
+  const SimTime end =
+      duration == SimTime::max() ? SimTime::max() : now_ + duration;
+  if (!initialized_) initialize();
+  running_ = true;
+  stop_requested_ = false;
+
+  while (!stop_requested_) {
+    if (!runnable_.empty() || !delta_queue_.empty() || !update_queue_.empty()) {
+      do_delta();
+      continue;
+    }
+    // Time advance: settled values at the current time are final.
+    fire_timestep_callbacks();
+    if (timed_queue_.empty()) break;
+    const SimTime next = timed_queue_.top().time;
+    if (next > end) break;
+    now_ = next;
+    // Trigger every valid event scheduled for this instant.
+    while (!timed_queue_.empty() && timed_queue_.top().time == now_) {
+      const TimedEntry entry = timed_queue_.top();
+      timed_queue_.pop();
+      Event* e = entry.event;
+      if (e->pending_ != Event::Pending::kTimed || e->stamp_ != entry.stamp) {
+        continue;  // cancelled or overridden
+      }
+      e->pending_ = Event::Pending::kNone;
+      e->trigger();
+    }
+  }
+
+  // sc_start-style semantics: a bounded run leaves time at exactly
+  // start + duration even if activity drained earlier.
+  if (end != SimTime::max() && now_ < end && !stop_requested_) now_ = end;
+  fire_timestep_callbacks();
+  running_ = false;
+}
+
+}  // namespace ahbp::sim

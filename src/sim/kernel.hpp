@@ -1,0 +1,116 @@
+#pragma once
+// The discrete-event scheduler.
+//
+// Implements the classic SystemC evaluate/update/delta-notify cycle:
+//
+//   1. evaluate : run every runnable process (writes are buffered)
+//   2. update   : apply buffered signal writes; changed signals queue
+//                 their value-changed events as delta notifications
+//   3. notify   : trigger delta-queued events, making processes runnable
+//                 for the next delta cycle at the same time
+//   4. advance  : when no process is runnable, jump to the earliest timed
+//                 notification and trigger it
+//
+// One Kernel instance is alive at a time (enforced); top-level objects
+// attach to Kernel::current().
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ahbp::sim {
+
+class Object;
+class Event;
+class Process;
+class SignalBase;
+
+/// The simulation scheduler and object registry.
+class Kernel {
+public:
+  Kernel();
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// The kernel top-level objects attach to. Fatal if none is alive.
+  [[nodiscard]] static Kernel& current();
+  /// Nullptr-safe variant of current().
+  [[nodiscard]] static Kernel* current_or_null();
+
+  /// Current simulation time.
+  [[nodiscard]] SimTime now() const { return now_; }
+  /// Number of delta cycles executed so far.
+  [[nodiscard]] std::uint64_t delta_count() const { return delta_count_; }
+
+  /// Runs the simulation for `duration` (default: until no activity
+  /// remains). On return, now() has advanced to start + duration, or to
+  /// the last activity if the event queues drained first (or if duration
+  /// is SimTime::max()).
+  void run(SimTime duration = SimTime::max());
+
+  /// Requests run() to return after the current delta cycle completes.
+  void stop() { stop_requested_ = true; }
+
+  /// True while inside run() -- processes can check this.
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Registers a callback invoked whenever simulated time is about to
+  /// advance (all deltas at the current time done) and once when run()
+  /// returns. Used by the VCD tracer to sample settled values.
+  void add_timestep_callback(std::function<void()> cb);
+
+  /// All objects currently registered, in construction order.
+  [[nodiscard]] const std::vector<Object*>& objects() const { return objects_; }
+
+  /// @name Internal interfaces (used by Object/Event/Process/Signal)
+  ///@{
+  void register_object(Object& o);
+  void unregister_object(Object& o);
+  void register_process(Process& p);
+  void unregister_process(Process& p);
+  void make_runnable(Process& p);
+  void schedule_delta(Event& e);
+  void schedule_timed(Event& e, SimTime abs_time, std::uint64_t stamp);
+  void request_update(SignalBase& s);
+  ///@}
+
+private:
+  void initialize();
+  /// Runs eval/update/notify once; returns true if further deltas are
+  /// pending at the current time.
+  void do_delta();
+  void fire_timestep_callbacks();
+
+  struct TimedEntry {
+    SimTime time;
+    std::uint64_t seq;  ///< FIFO order among equal times
+    Event* event;
+    std::uint64_t stamp;
+    bool operator>(const TimedEntry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t delta_count_ = 0;
+  std::uint64_t timed_seq_ = 0;
+  bool initialized_ = false;
+  bool running_ = false;
+  bool stop_requested_ = false;
+
+  std::vector<Object*> objects_;
+  std::vector<Process*> processes_;
+  std::vector<Process*> runnable_;
+  std::vector<Event*> delta_queue_;
+  std::vector<SignalBase*> update_queue_;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<>> timed_queue_;
+  std::vector<std::function<void()>> timestep_callbacks_;
+
+  static Kernel* current_;
+};
+
+}  // namespace ahbp::sim

@@ -1,0 +1,9 @@
+#include "sim/module.hpp"
+
+namespace ahbp::sim {
+
+Module::Module(Module* parent, std::string name) : Object(parent, std::move(name)) {}
+
+Module::~Module() = default;
+
+}  // namespace ahbp::sim

@@ -1,0 +1,32 @@
+#pragma once
+// Module: a structural container for processes, signals and sub-modules.
+
+#include <string>
+#include <vector>
+
+#include "sim/object.hpp"
+
+namespace ahbp::sim {
+
+/// A node of the design hierarchy (cf. SystemC sc_module).
+///
+/// Modules own their children by containment: declare sub-modules,
+/// signals, events and processes as data members and pass `this` as their
+/// parent. The kernel discovers everything through object registration;
+/// Module itself only provides naming scope and child enumeration.
+class Module : public Object {
+public:
+  Module(Module* parent, std::string name);
+  ~Module() override;
+
+  [[nodiscard]] const char* kind() const override { return "module"; }
+
+  /// Direct children (all object kinds), in construction order.
+  [[nodiscard]] const std::vector<Object*>& children() const { return children_; }
+
+private:
+  friend class Object;
+  std::vector<Object*> children_;
+};
+
+}  // namespace ahbp::sim

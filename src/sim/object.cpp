@@ -1,0 +1,34 @@
+#include "sim/object.hpp"
+
+#include <algorithm>
+
+#include "sim/kernel.hpp"
+#include "sim/module.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::sim {
+
+Object::Object(Module* parent, std::string name)
+    : name_(std::move(name)), parent_(parent) {
+  kernel_ = parent != nullptr ? &parent->kernel() : Kernel::current_or_null();
+  if (kernel_ == nullptr) {
+    throw SimError("object '" + name_ + "' constructed with no Kernel alive");
+  }
+  kernel_->register_object(*this);
+  if (parent_ != nullptr) parent_->children_.push_back(this);
+}
+
+Object::~Object() {
+  if (parent_ != nullptr) {
+    auto& v = parent_->children_;
+    v.erase(std::remove(v.begin(), v.end(), this), v.end());
+  }
+  kernel_->unregister_object(*this);
+}
+
+std::string Object::full_name() const {
+  if (parent_ == nullptr) return name_;
+  return parent_->full_name() + "." + name_;
+}
+
+}  // namespace ahbp::sim

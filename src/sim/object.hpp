@@ -1,0 +1,51 @@
+#pragma once
+// Named-object hierarchy shared by all kernel entities (modules, signals,
+// events, processes). Comparable to SystemC's sc_object.
+
+#include <string>
+#include <vector>
+
+namespace ahbp::sim {
+
+class Kernel;
+class Module;
+
+/// Base class for every named simulation entity.
+///
+/// An Object belongs to exactly one Kernel and optionally to a parent
+/// Module; its `full_name()` is the dot-separated hierarchical path
+/// ("top.bus.arbiter"). Objects register with the kernel on construction
+/// and deregister on destruction, so the kernel can enumerate the design
+/// hierarchy (used by tracing and diagnostics).
+class Object {
+public:
+  Object(const Object&) = delete;
+  Object& operator=(const Object&) = delete;
+  virtual ~Object();
+
+  /// Leaf name, as given at construction.
+  [[nodiscard]] const std::string& basename() const { return name_; }
+  /// Hierarchical name: parent path + "." + basename.
+  [[nodiscard]] std::string full_name() const;
+  /// Enclosing module, or nullptr for top-level objects.
+  [[nodiscard]] Module* parent() const { return parent_; }
+  /// The kernel this object is registered with.
+  [[nodiscard]] Kernel& kernel() const { return *kernel_; }
+
+  /// A short string naming the concrete kind ("module", "signal", ...).
+  [[nodiscard]] virtual const char* kind() const { return "object"; }
+
+protected:
+  /// Creates an object under `parent` (nullptr = top level). The kernel is
+  /// taken from the parent, or from Kernel::current() for top-level
+  /// objects; constructing a top-level object with no kernel alive is a
+  /// fatal error.
+  Object(Module* parent, std::string name);
+
+private:
+  std::string name_;
+  Module* parent_ = nullptr;
+  Kernel* kernel_ = nullptr;
+};
+
+}  // namespace ahbp::sim

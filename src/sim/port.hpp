@@ -1,0 +1,75 @@
+#pragma once
+// Thin, late-bound port wrappers over Signal<T>.
+//
+// Modules declare In<T>/Out<T> members and the netlist-level code binds
+// them to signals during elaboration. Reading or writing an unbound port
+// is a fatal error, which catches wiring mistakes immediately.
+
+#include "sim/report.hpp"
+#include "sim/signal.hpp"
+
+namespace ahbp::sim {
+
+/// Read-only port.
+template <std::equality_comparable T>
+class In {
+public:
+  In() = default;
+
+  void bind(Signal<T>& s) { sig_ = &s; }
+  [[nodiscard]] bool bound() const { return sig_ != nullptr; }
+
+  [[nodiscard]] const T& read() const {
+    check();
+    return sig_->read();
+  }
+  [[nodiscard]] Event& value_changed_event() const {
+    check();
+    return sig_->value_changed_event();
+  }
+  [[nodiscard]] Event& posedge_event() const
+    requires std::same_as<T, bool>
+  {
+    check();
+    return sig_->posedge_event();
+  }
+  [[nodiscard]] Event& negedge_event() const
+    requires std::same_as<T, bool>
+  {
+    check();
+    return sig_->negedge_event();
+  }
+
+private:
+  void check() const {
+    if (sig_ == nullptr) throw SimError("access to unbound In<> port");
+  }
+  Signal<T>* sig_ = nullptr;
+};
+
+/// Write (and read-back) port.
+template <std::equality_comparable T>
+class Out {
+public:
+  Out() = default;
+
+  void bind(Signal<T>& s) { sig_ = &s; }
+  [[nodiscard]] bool bound() const { return sig_ != nullptr; }
+
+  void write(const T& v) {
+    check();
+    sig_->write(v);
+  }
+  [[nodiscard]] const T& read() const {
+    check();
+    return sig_->read();
+  }
+
+private:
+  void check() const {
+    if (sig_ == nullptr) throw SimError("access to unbound Out<> port");
+  }
+  Signal<T>* sig_ = nullptr;
+};
+
+}  // namespace ahbp::sim

@@ -1,0 +1,42 @@
+#include "sim/report.hpp"
+
+#include <iostream>
+
+namespace ahbp::sim {
+
+Reporter::Counts Reporter::counts_;
+Severity Reporter::min_printed_ = Severity::kWarning;
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "Info";
+    case Severity::kWarning: return "Warning";
+    case Severity::kError: return "Error";
+    case Severity::kFatal: return "Fatal";
+  }
+  return "?";
+}
+
+void Reporter::report(Severity sev, std::string_view msg_type, std::string_view msg) {
+  switch (sev) {
+    case Severity::kInfo: ++counts_.info; break;
+    case Severity::kWarning: ++counts_.warning; break;
+    case Severity::kError: ++counts_.error; break;
+    case Severity::kFatal: ++counts_.fatal; break;
+  }
+  if (sev >= min_printed_) {
+    std::ostream& os = sev == Severity::kInfo ? std::cout : std::cerr;
+    os << to_string(sev) << ": (" << msg_type << ") " << msg << '\n';
+  }
+  if (sev >= Severity::kError) {
+    throw SimError(std::string("(") + std::string(msg_type) + ") " + std::string(msg));
+  }
+}
+
+const Reporter::Counts& Reporter::counts() { return counts_; }
+
+void Reporter::reset_counts() { counts_ = Counts{}; }
+
+void Reporter::set_verbosity(Severity min_printed) { min_printed_ = min_printed; }
+
+}  // namespace ahbp::sim

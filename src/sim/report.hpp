@@ -1,0 +1,69 @@
+#pragma once
+// Severity-tagged reporting for kernel and model code.
+//
+// Modeled loosely on SystemC's sc_report: messages carry a severity and a
+// message-type id; fatal errors throw SimError so tests can assert on
+// misuse instead of aborting the process.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ahbp::sim {
+
+/// Exception thrown for unrecoverable modeling or kernel errors
+/// (elaboration misuse, protocol violations promoted to fatal, ...).
+class SimError : public std::runtime_error {
+public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Message severity, ordered from least to most severe.
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+/// Global reporting configuration and counters.
+///
+/// Reporter is intentionally tiny: `report()` prints to stderr for
+/// warnings/errors (stdout for info), bumps a per-severity counter, and
+/// throws SimError for kError and kFatal. Tests use `counts()` to check
+/// that a scenario warned, and `set_verbosity` to silence info chatter.
+class Reporter {
+public:
+  struct Counts {
+    unsigned long info = 0;
+    unsigned long warning = 0;
+    unsigned long error = 0;
+    unsigned long fatal = 0;
+  };
+
+  /// Emit a report. kError/kFatal throw SimError after counting.
+  static void report(Severity sev, std::string_view msg_type, std::string_view msg);
+
+  /// Counters since the last reset_counts().
+  [[nodiscard]] static const Counts& counts();
+  static void reset_counts();
+
+  /// Minimum severity that is printed (everything is still counted).
+  static void set_verbosity(Severity min_printed);
+
+private:
+  static Counts counts_;
+  static Severity min_printed_;
+};
+
+/// Convenience helpers used throughout the library.
+inline void info(std::string_view type, std::string_view msg) {
+  Reporter::report(Severity::kInfo, type, msg);
+}
+inline void warn(std::string_view type, std::string_view msg) {
+  Reporter::report(Severity::kWarning, type, msg);
+}
+[[noreturn]] inline void error(std::string_view type, std::string_view msg) {
+  Reporter::report(Severity::kError, type, msg);
+  throw SimError(std::string(msg));  // unreachable; report() already throws
+}
+
+}  // namespace ahbp::sim

@@ -1,0 +1,44 @@
+#include "sim/time.hpp"
+
+#include <array>
+#include <cstdio>
+#include <ostream>
+
+namespace ahbp::sim {
+
+std::string SimTime::to_string() const {
+  struct Unit {
+    std::int64_t scale;
+    const char* name;
+  };
+  static constexpr std::array<Unit, 6> units{{
+      {1'000'000'000'000'000, "s"},
+      {1'000'000'000'000, "ms"},
+      {1'000'000'000, "us"},
+      {1'000'000, "ns"},
+      {1'000, "ps"},
+      {1, "fs"},
+  }};
+
+  const std::int64_t v = fs_;
+  if (v == 0) return "0 s";
+  const std::int64_t mag = v < 0 ? -v : v;
+  for (const auto& u : units) {
+    if (mag >= u.scale) {
+      const double scaled = static_cast<double>(v) / static_cast<double>(u.scale);
+      char buf[64];
+      if (mag % u.scale == 0) {
+        std::snprintf(buf, sizeof buf, "%lld %s",
+                      static_cast<long long>(v / u.scale), u.name);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.3f %s", scaled, u.name);
+      }
+      return buf;
+    }
+  }
+  return "0 s";
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.to_string(); }
+
+}  // namespace ahbp::sim

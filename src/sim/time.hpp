@@ -1,0 +1,83 @@
+#pragma once
+// Simulation time for the ahbpower discrete-event kernel.
+//
+// Time is kept as an integral number of femtoseconds, which gives an
+// unambiguous total order (no floating-point accumulation error) and a
+// range of +/- ~2.5 hours in a signed 64-bit counter -- far beyond any
+// system-level simulation this library targets.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ahbp::sim {
+
+/// Discrete simulation time, stored in femtoseconds.
+///
+/// SimTime is a regular value type: it is cheap to copy, totally ordered,
+/// and supports the usual affine arithmetic (time + duration, time - time).
+class SimTime {
+public:
+  /// Zero time. Identical to SimTime::zero().
+  constexpr SimTime() = default;
+
+  /// Named constructors for the usual units.
+  [[nodiscard]] static constexpr SimTime fs(std::int64_t v) { return SimTime{v}; }
+  [[nodiscard]] static constexpr SimTime ps(std::int64_t v) { return SimTime{v * 1'000}; }
+  [[nodiscard]] static constexpr SimTime ns(std::int64_t v) { return SimTime{v * 1'000'000}; }
+  [[nodiscard]] static constexpr SimTime us(std::int64_t v) { return SimTime{v * 1'000'000'000}; }
+  [[nodiscard]] static constexpr SimTime ms(std::int64_t v) { return SimTime{v * 1'000'000'000'000}; }
+  [[nodiscard]] static constexpr SimTime sec(std::int64_t v) { return SimTime{v * 1'000'000'000'000'000}; }
+
+  /// The zero instant / empty duration.
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{}; }
+
+  /// A time strictly larger than every representable instant; used by the
+  /// kernel as the "run forever" bound.
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{INT64_MAX};
+  }
+
+  /// Raw femtosecond count.
+  [[nodiscard]] constexpr std::int64_t femtoseconds() const { return fs_; }
+  /// Value converted to the given unit (truncating).
+  [[nodiscard]] constexpr std::int64_t picoseconds() const { return fs_ / 1'000; }
+  [[nodiscard]] constexpr std::int64_t nanoseconds() const { return fs_ / 1'000'000; }
+  [[nodiscard]] constexpr std::int64_t microseconds() const { return fs_ / 1'000'000'000; }
+
+  /// Value in seconds as a double, for reporting and power computation
+  /// (power = energy / seconds).
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(fs_) * 1e-15;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime rhs) {
+    fs_ += rhs.fs_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) {
+    fs_ -= rhs.fs_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return a += b; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return a -= b; }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.fs_ * k}; }
+  friend constexpr SimTime operator*(std::int64_t k, SimTime a) { return a * k; }
+  /// Number of whole periods `b` that fit into `a` (integer division).
+  friend constexpr std::int64_t operator/(SimTime a, SimTime b) { return a.fs_ / b.fs_; }
+
+  /// Human-readable rendering with an automatically chosen unit,
+  /// e.g. "150 ns", "2.5 us".
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  constexpr explicit SimTime(std::int64_t fs) : fs_{fs} {}
+  std::int64_t fs_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+}  // namespace ahbp::sim

@@ -1,0 +1,89 @@
+#include "sim/vcd.hpp"
+
+#include "sim/kernel.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::sim {
+
+namespace {
+/// Generates compact VCD identifiers: !, ", #, ... then two-char codes.
+std::string make_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+}  // namespace
+
+VcdWriter::VcdWriter(const std::string& path, Kernel& k) : kernel_(k), out_(path) {
+  if (!out_) throw SimError("cannot open VCD file '" + path + "'");
+  kernel_.add_timestep_callback([this] { sample_all(); });
+}
+
+VcdWriter::~VcdWriter() { flush(); }
+
+std::string VcdWriter::escape(const std::string& name) {
+  std::string s = name;
+  for (char& c : s) {
+    if (c == ' ' || c == '.') c = '_';
+  }
+  return s;
+}
+
+void VcdWriter::add(const Signal<bool>& s) {
+  add_channel(s.full_name(), 1, [&s] { return s.read() ? 1u : 0u; });
+}
+
+void VcdWriter::add_channel(std::string name, unsigned width,
+                            std::function<std::uint64_t()> sample) {
+  if (header_written_) {
+    throw SimError("VcdWriter: cannot add channels after tracing started");
+  }
+  Channel ch;
+  ch.name = escape(name);
+  ch.id = make_id(channels_.size());
+  ch.width = width;
+  ch.sample = std::move(sample);
+  channels_.push_back(std::move(ch));
+}
+
+void VcdWriter::write_header() {
+  out_ << "$timescale 1ps $end\n$scope module top $end\n";
+  for (const auto& ch : channels_) {
+    out_ << "$var wire " << ch.width << ' ' << ch.id << ' ' << ch.name << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::sample_all() {
+  if (!header_written_) write_header();
+  const std::int64_t t = kernel_.now().picoseconds();
+  bool stamped = false;
+  for (auto& ch : channels_) {
+    const std::uint64_t v = ch.sample();
+    if (ch.ever_dumped && v == ch.last) continue;
+    if (!stamped && t != last_dump_ps_) {
+      out_ << '#' << t << '\n';
+      last_dump_ps_ = t;
+    }
+    stamped = true;
+    if (ch.width == 1) {
+      out_ << (v & 1u) << ch.id << '\n';
+    } else {
+      out_ << 'b';
+      for (int bit = static_cast<int>(ch.width) - 1; bit >= 0; --bit) {
+        out_ << ((v >> bit) & 1u);
+      }
+      out_ << ' ' << ch.id << '\n';
+    }
+    ch.last = v;
+    ch.ever_dumped = true;
+  }
+}
+
+void VcdWriter::flush() { out_.flush(); }
+
+}  // namespace ahbp::sim

@@ -1,0 +1,70 @@
+#pragma once
+// Minimal VCD (IEEE 1364 value-change dump) trace writer.
+//
+// Supports Signal<bool> and unsigned integral signals. Values are sampled
+// whenever simulated time advances, so each dumped instant shows settled
+// (post-delta) values only.
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/signal.hpp"
+
+namespace ahbp::sim {
+
+/// Writes a VCD file while the simulation runs.
+///
+/// Usage:
+///   VcdWriter vcd("trace.vcd", kernel);
+///   vcd.add(my_bool_signal);
+///   vcd.add(my_addr_signal, 32);
+///   kernel.run(...);
+///   // file flushed on destruction (or flush())
+class VcdWriter {
+public:
+  /// Registers with `k` to sample at every timestep boundary. Timescale
+  /// is 1 ps.
+  VcdWriter(const std::string& path, Kernel& k);
+  ~VcdWriter();
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Traces a boolean signal (1-bit wire named after the signal).
+  void add(const Signal<bool>& s);
+  /// Traces an unsigned integral signal as a `width`-bit vector.
+  template <std::unsigned_integral T>
+  void add(const Signal<T>& s, unsigned width) {
+    add_channel(s.full_name(), width, [&s] { return static_cast<std::uint64_t>(s.read()); });
+  }
+
+  /// Traces an arbitrary sampled quantity (e.g. a power probe).
+  void add_channel(std::string name, unsigned width,
+                   std::function<std::uint64_t()> sample);
+
+  void flush();
+
+private:
+  void sample_all();
+  void write_header();
+  static std::string escape(const std::string& name);
+
+  struct Channel {
+    std::string name;
+    std::string id;  ///< short VCD identifier
+    unsigned width;
+    std::function<std::uint64_t()> sample;
+    std::uint64_t last = 0;
+    bool ever_dumped = false;
+  };
+
+  Kernel& kernel_;
+  std::ofstream out_;
+  std::vector<Channel> channels_;
+  bool header_written_ = false;
+  std::int64_t last_dump_ps_ = -1;
+};
+
+}  // namespace ahbp::sim

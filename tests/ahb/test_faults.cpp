@@ -1,0 +1,148 @@
+// Fault-injection tests: RETRY/ERROR responses from a faulty slave, the
+// scripted master's retry machinery, and system behaviour around the
+// default slave's error responses.
+
+#include <gtest/gtest.h>
+
+#include "ahb/ahb.hpp"
+#include "power/estimator.hpp"
+#include "testbench.hpp"
+
+namespace ahbp::ahb {
+namespace {
+
+using sim::SimError;
+using test::Bench;
+using Op = ScriptedMaster::Op;
+
+Op write_op(std::uint32_t addr, std::uint32_t data) {
+  return Op{Op::Kind::kWrite, addr, data, 0};
+}
+Op read_op(std::uint32_t addr) { return Op{Op::Kind::kRead, addr, 0, 0}; }
+
+TEST(FaultySlave, RejectsBadConfigs) {
+  Bench b;
+  EXPECT_THROW(FaultySlave(&b.top, "f1", b.bus, {.size = 6}), SimError);
+  EXPECT_THROW(FaultySlave(&b.top, "f2", b.bus, {.fail_every_n = 0}), SimError);
+  EXPECT_THROW(FaultySlave(&b.top, "f3", b.bus, {.failure = Resp::kOkay}),
+               SimError);
+  EXPECT_THROW(FaultySlave(&b.top, "f4", b.bus, {.failure = Resp::kSplit}),
+               SimError);
+}
+
+TEST(FaultySlave, RetryResponseReachesMaster) {
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  // Every transfer fails -> a non-retrying master records the RETRY.
+  ScriptedMaster m(&b.top, "m", b.bus, {write_op(0x10, 1)},
+                   ScriptedMaster::Options{.retry = false});
+  FaultySlave fs(&b.top, "fs", b.bus,
+                 {.base = 0, .size = 0x1000, .fail_every_n = 1});
+  b.bus.finalize();
+  b.run_cycles(30);
+  ASSERT_TRUE(m.finished());
+  ASSERT_EQ(m.results().size(), 1u);
+  EXPECT_EQ(m.results()[0].resp, Resp::kRetry);
+  EXPECT_EQ(fs.stats().failures, 1u);
+  EXPECT_EQ(fs.stats().ok_writes, 0u);
+}
+
+TEST(FaultySlave, RetryingMasterEventuallySucceeds) {
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  ScriptedMaster m(&b.top, "m", b.bus,
+                   {write_op(0x20, 0xBEEF), read_op(0x20)},
+                   ScriptedMaster::Options{.retry = true});
+  // Every 2nd transfer fails: first write attempt fails, retry succeeds...
+  FaultySlave fs(&b.top, "fs", b.bus,
+                 {.base = 0, .size = 0x1000, .fail_every_n = 2});
+  b.bus.finalize();
+  BusMonitor::Config cfg{.fatal = false};
+  BusMonitor mon(&b.top, "mon", b.bus, cfg);
+
+  b.run_cycles(100);
+  ASSERT_TRUE(m.finished());
+  ASSERT_EQ(m.results().size(), 2u);
+  EXPECT_EQ(m.results()[0].resp, Resp::kOkay);
+  EXPECT_EQ(m.results()[1].resp, Resp::kOkay);
+  EXPECT_EQ(m.results()[1].data, 0xBEEFu);
+  EXPECT_GT(m.retries(), 0u);
+  EXPECT_EQ(fs.peek(0x20), 0xBEEFu);
+  EXPECT_TRUE(mon.violations().empty());
+}
+
+TEST(FaultySlave, MaxRetriesGivesUp) {
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  ScriptedMaster m(&b.top, "m", b.bus, {write_op(0x10, 1)},
+                   ScriptedMaster::Options{.retry = true, .max_retries = 3});
+  FaultySlave fs(&b.top, "fs", b.bus,
+                 {.base = 0, .size = 0x1000, .fail_every_n = 1});  // always fails
+  b.bus.finalize();
+  b.run_cycles(200);
+  ASSERT_TRUE(m.finished());
+  EXPECT_EQ(m.retries(), 3u);
+  EXPECT_EQ(m.results()[0].resp, Resp::kRetry);  // gave up, recorded RETRY
+}
+
+TEST(FaultySlave, ErrorsAreNotRetried) {
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  ScriptedMaster m(&b.top, "m", b.bus, {write_op(0x10, 1), read_op(0x14)},
+                   ScriptedMaster::Options{.retry = true});
+  FaultySlave fs(&b.top, "fs", b.bus,
+                 {.base = 0,
+                  .size = 0x1000,
+                  .fail_every_n = 2,
+                  .failure = Resp::kError});
+  b.bus.finalize();
+  b.run_cycles(100);
+  ASSERT_TRUE(m.finished());
+  ASSERT_EQ(m.results().size(), 2u);
+  EXPECT_EQ(m.retries(), 0u);
+  // Exactly one of the two transfers hit the every-2nd failure.
+  const int errors = (m.results()[0].resp == Resp::kError ? 1 : 0) +
+                     (m.results()[1].resp == Resp::kError ? 1 : 0);
+  EXPECT_EQ(errors, 1);
+}
+
+TEST(FaultySlave, FailureCadenceIsExact) {
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  std::vector<Op> script;
+  for (int i = 0; i < 9; ++i) script.push_back(write_op(0x100 + 4 * i, i));
+  ScriptedMaster m(&b.top, "m", b.bus, script,
+                   ScriptedMaster::Options{.retry = false});
+  FaultySlave fs(&b.top, "fs", b.bus,
+                 {.base = 0, .size = 0x1000, .fail_every_n = 3});
+  b.bus.finalize();
+  b.run_cycles(200);
+  ASSERT_TRUE(m.finished());
+  EXPECT_EQ(fs.stats().failures, 3u);   // transfers 3, 6, 9
+  EXPECT_EQ(fs.stats().ok_writes, 6u);
+}
+
+TEST(FaultySlave, PowerAnalysisSeesRetryTraffic) {
+  // Failure cycles are bus activity too: the estimator keeps working and
+  // records extra energy relative to a clean run.
+  auto run = [](unsigned fail_every_n) {
+    Bench b;
+    DefaultMaster dm(&b.top, "dm", b.bus);
+    std::vector<Op> script;
+    for (int i = 0; i < 16; ++i) script.push_back(write_op(0x100 + 4 * i, 0xA0 + i));
+    ScriptedMaster m(&b.top, "m", b.bus, script,
+                     ScriptedMaster::Options{.retry = true});
+    FaultySlave fs(&b.top, "fs", b.bus,
+                   {.base = 0, .size = 0x1000, .fail_every_n = fail_every_n});
+    b.bus.finalize();
+    power::AhbPowerEstimator est(&b.top, "pwr", b.bus);
+    b.run_cycles(400);
+    return est.total_energy();
+  };
+  const double clean = run(1000000);  // effectively never fails
+  const double faulty = run(2);
+  EXPECT_GT(faulty, clean);
+}
+
+}  // namespace
+}  // namespace ahbp::ahb

@@ -1,0 +1,180 @@
+// Negative tests for the protocol monitor: deliberately misbehaving
+// masters must be caught, and the fatal/non-fatal modes must behave.
+
+#include "ahb/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ahb/ahb.hpp"
+#include "testbench.hpp"
+
+namespace ahbp::ahb {
+namespace {
+
+using sim::SimError;
+using test::Bench;
+
+/// A master that changes its address mid-wait-state (illegal).
+struct WobblyMaster : AhbMaster {
+  WobblyMaster(sim::Module* p, AhbBus& bus)
+      : AhbMaster(p, "wobbly", bus), thread_(this, "t", [this] { return body(); }) {}
+  sim::Task body() {
+    sim::Event& edge = clock().posedge_event();
+    sig_.hbusreq.write(true);
+    do {
+      co_await wait(edge);
+    } while (!(granted() && bus_signals().hready.read()));
+    // Launch a transfer into the slow slave...
+    sig_.htrans.write(raw(Trans::kNonSeq));
+    sig_.haddr.write(0x100);
+    sig_.hwrite.write(true);
+    do {
+      co_await wait(edge);
+    } while (!bus_signals().hready.read());
+    // First data-phase cycle (stalled): fire a second address phase and
+    // then ILLEGALLY change it while HREADY is low.
+    sig_.haddr.write(0x200);
+    co_await wait(edge);
+    sig_.haddr.write(0x300);  // illegal mid-wait change
+    co_await wait(edge);
+    co_await wait(edge);
+    sig_.htrans.write(raw(Trans::kIdle));
+    sig_.hbusreq.write(false);
+  }
+  sim::Thread thread_;
+};
+
+TEST(Monitor, CatchesAddressChangeDuringWaitStates) {
+  Bench b;
+  WobblyMaster bad(&b.top, b.bus);
+  MemorySlave mem(&b.top, "mem", b.bus,
+                  {.base = 0, .size = 0x1000, .wait_states = 3});
+  b.bus.finalize();
+  BusMonitor::Config cfg{.fatal = false};
+  BusMonitor mon(&b.top, "mon", b.bus, cfg);
+  b.run_cycles(40);
+  ASSERT_FALSE(mon.violations().empty());
+  bool found = false;
+  for (const auto& v : mon.violations()) {
+    if (v.find("wait states") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << mon.violations().front();
+}
+
+/// A master that starts a burst with SEQ (illegal).
+struct SeqFirstMaster : AhbMaster {
+  SeqFirstMaster(sim::Module* p, AhbBus& bus)
+      : AhbMaster(p, "seqfirst", bus),
+        thread_(this, "t", [this] { return body(); }) {}
+  sim::Task body() {
+    sim::Event& edge = clock().posedge_event();
+    sig_.hbusreq.write(true);
+    do {
+      co_await wait(edge);
+    } while (!(granted() && bus_signals().hready.read()));
+    sig_.htrans.write(raw(Trans::kSeq));  // illegal: SEQ out of IDLE
+    sig_.haddr.write(0x10);
+    co_await wait(edge);
+    co_await wait(edge);
+    sig_.htrans.write(raw(Trans::kIdle));
+    sig_.hbusreq.write(false);
+  }
+  sim::Thread thread_;
+};
+
+TEST(Monitor, CatchesSeqAfterIdle) {
+  Bench b;
+  SeqFirstMaster bad(&b.top, b.bus);
+  MemorySlave mem(&b.top, "mem", b.bus, {.base = 0, .size = 0x1000});
+  b.bus.finalize();
+  BusMonitor::Config cfg{.fatal = false};
+  BusMonitor mon(&b.top, "mon", b.bus, cfg);
+  b.run_cycles(20);
+  ASSERT_FALSE(mon.violations().empty());
+  bool found = false;
+  for (const auto& v : mon.violations()) {
+    if (v.find("SEQ transfer immediately after IDLE") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+/// A master that injects BUSY without a burst in progress.
+struct BusyIdleMaster : AhbMaster {
+  BusyIdleMaster(sim::Module* p, AhbBus& bus)
+      : AhbMaster(p, "busyidle", bus),
+        thread_(this, "t", [this] { return body(); }) {}
+  sim::Task body() {
+    sim::Event& edge = clock().posedge_event();
+    sig_.hbusreq.write(true);
+    do {
+      co_await wait(edge);
+    } while (!(granted() && bus_signals().hready.read()));
+    sig_.htrans.write(raw(Trans::kBusy));  // illegal: BUSY out of IDLE
+    co_await wait(edge);
+    co_await wait(edge);
+    sig_.htrans.write(raw(Trans::kIdle));
+    sig_.hbusreq.write(false);
+  }
+  sim::Thread thread_;
+};
+
+TEST(Monitor, CatchesBusyOutsideBurst) {
+  Bench b;
+  BusyIdleMaster bad(&b.top, b.bus);
+  MemorySlave mem(&b.top, "mem", b.bus, {.base = 0, .size = 0x1000});
+  b.bus.finalize();
+  BusMonitor::Config cfg{.fatal = false};
+  BusMonitor mon(&b.top, "mon", b.bus, cfg);
+  b.run_cycles(20);
+  bool found = false;
+  for (const auto& v : mon.violations()) {
+    if (v.find("BUSY beat outside a burst") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Monitor, FatalModeThrowsOnFirstViolation) {
+  Bench b;
+  SeqFirstMaster bad(&b.top, b.bus);
+  MemorySlave mem(&b.top, "mem", b.bus, {.base = 0, .size = 0x1000});
+  b.bus.finalize();
+  BusMonitor mon(&b.top, "mon", b.bus);  // fatal by default
+  EXPECT_THROW(b.run_cycles(20), SimError);
+}
+
+TEST(Monitor, CleanTrafficProducesNoViolations) {
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  TrafficMaster m(&b.top, "m", b.bus,
+                  {.addr_base = 0, .addr_range = 0x1000, .seed = 5});
+  MemorySlave mem(&b.top, "mem", b.bus, {.base = 0, .size = 0x1000});
+  b.bus.finalize();
+  BusMonitor mon(&b.top, "mon", b.bus);  // fatal: any violation aborts
+  EXPECT_NO_THROW(b.run_cycles(2000));
+  EXPECT_TRUE(mon.violations().empty());
+}
+
+TEST(Monitor, StatsClassifyCycleTypes) {
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  ScriptedMaster m(&b.top, "m", b.bus,
+                   {{ScriptedMaster::Op::Kind::kWrite, 0x10, 1, 0},
+                    {ScriptedMaster::Op::Kind::kIdle, 0, 0, 5},
+                    {ScriptedMaster::Op::Kind::kRead, 0x10, 0, 0}});
+  MemorySlave mem(&b.top, "mem", b.bus,
+                  {.base = 0, .size = 0x1000, .wait_states = 1});
+  b.bus.finalize();
+  BusMonitor mon(&b.top, "mon", b.bus);
+  b.run_cycles(60);
+  EXPECT_EQ(mon.stats().transfers, 2u);
+  EXPECT_EQ(mon.stats().writes, 1u);
+  EXPECT_EQ(mon.stats().reads, 1u);
+  EXPECT_EQ(mon.stats().wait_cycles, 2u);
+  EXPECT_GT(mon.stats().idle_cycles, 5u);
+  EXPECT_GT(mon.stats().cycles, 20u);
+}
+
+}  // namespace
+}  // namespace ahbp::ahb

@@ -1,0 +1,31 @@
+#pragma once
+// Shared fixture pieces for AHB tests: a kernel + clock + bus skeleton.
+
+#include <memory>
+#include <vector>
+
+#include "ahb/ahb.hpp"
+#include "sim/sim.hpp"
+
+namespace ahbp::ahb::test {
+
+/// A bare system: 100 MHz clock and a bus, nothing attached yet.
+/// First rising edge at 10 ns.
+struct Bench {
+  explicit Bench(AhbBus::Config cfg = AhbBus::Config{})
+      : top(nullptr, "top"),
+        clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10)),
+        bus(&top, "ahb", clk, cfg) {}
+
+  /// Runs for `cycles` bus cycles.
+  void run_cycles(unsigned cycles) {
+    kernel.run(sim::SimTime::ns(10) * static_cast<std::int64_t>(cycles));
+  }
+
+  sim::Kernel kernel;
+  sim::Module top;
+  sim::Clock clk;
+  AhbBus bus;
+};
+
+}  // namespace ahbp::ahb::test

@@ -1,0 +1,145 @@
+// Tests for the characterization flows: stimulus statistics, fitted
+// macromodels tracking the gate-level reference, and the paper's decoder
+// closed form validated against the generated structure.
+
+#include "charlib/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/activity.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::charlib {
+namespace {
+
+using power::hamming;
+
+TEST(Stimulus, LowActivityFlipsOneBit) {
+  StimulusGen g(StimulusGen::Profile::kLowActivity, 16, 3);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t cur = g.next();
+    EXPECT_EQ(hamming(prev, cur), 1u);
+    prev = cur;
+  }
+}
+
+TEST(Stimulus, HighActivityFlipsAllBits) {
+  StimulusGen g(StimulusGen::Profile::kHighActivity, 12, 3);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t cur = g.next();
+    EXPECT_EQ(hamming(prev, cur), 12u);
+    prev = cur;
+  }
+}
+
+TEST(Stimulus, WalkingOneIsOneHot) {
+  StimulusGen g(StimulusGen::Profile::kWalkingOne, 8, 0);
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t v = g.next();
+    EXPECT_EQ(hamming(0, v), 1u);
+  }
+}
+
+TEST(Stimulus, UniformMeanHdNearHalfWidth) {
+  StimulusGen g(StimulusGen::Profile::kUniform, 32, 5);
+  std::uint64_t prev = g.next();
+  double total = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t cur = g.next();
+    total += hamming(prev, cur);
+    prev = cur;
+  }
+  EXPECT_NEAR(total / n, 16.0, 1.0);
+}
+
+TEST(Stimulus, SparseMostlyRepeats) {
+  StimulusGen g(StimulusGen::Profile::kSparse, 32, 5);
+  std::uint64_t prev = g.next();
+  int repeats = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t cur = g.next();
+    if (cur == prev) ++repeats;
+    prev = cur;
+  }
+  EXPECT_GT(repeats, 250);
+}
+
+TEST(Stimulus, MasksToWidth) {
+  StimulusGen g(StimulusGen::Profile::kUniform, 5, 9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(g.next(), 32u);
+  }
+}
+
+TEST(CharacterizeDecoder, FitTracksGateLevel) {
+  const auto r = characterize_decoder(4, 300, 42);
+  EXPECT_EQ(r.samples.size(), 300u);
+  // Energy is strongly HD-driven in this structure.
+  EXPECT_GT(r.fit.r_squared, 0.8);
+  EXPECT_GT(r.fit.coefficients[1], 0.0);  // more HD -> more energy
+}
+
+TEST(CharacterizeDecoder, PaperClosedFormIsReasonable) {
+  const auto r = characterize_decoder(4, 300, 42);
+  // The paper's closed form is a macromodel, not an exact law; require
+  // the same order of magnitude over the run and <60% mean error.
+  EXPECT_GT(r.paper_model.total_energy_model,
+            0.3 * r.paper_model.total_energy_ref);
+  EXPECT_LT(r.paper_model.total_energy_model,
+            3.0 * r.paper_model.total_energy_ref);
+  EXPECT_LT(r.paper_model.mean_rel_error, 0.6);
+}
+
+class DecoderSizes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DecoderSizes, EnergyGrowsWithDecoderSize) {
+  const auto small = characterize_decoder(GetParam(), 200, 7);
+  const auto large = characterize_decoder(GetParam() * 4, 200, 7);
+  EXPECT_GT(large.paper_model.total_energy_ref,
+            small.paper_model.total_energy_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DecoderSizes, ::testing::Values(2u, 4u));
+
+TEST(CharacterizeMux, FittedBeatsDefaultModel) {
+  const auto r = characterize_mux(16, 3, 400, 9);
+  EXPECT_EQ(r.samples.size(), 400u);
+  EXPECT_GT(r.fit.r_squared, 0.7);
+  // Calibration can only improve (or match) the mean error.
+  EXPECT_LE(r.fitted_model.mean_rel_error, r.default_model.mean_rel_error + 1e-9);
+  EXPECT_LT(r.fitted_model.mean_rel_error, 0.5);
+}
+
+TEST(CharacterizeMux, CalibratedCoefficientsPositive) {
+  const auto r = characterize_mux(8, 4, 400, 11);
+  EXPECT_GT(r.calibrated.k_in, 0.0);
+  EXPECT_GT(r.calibrated.k_out, 0.0);
+}
+
+TEST(CharacterizeArbiter, FsmModelTracksGateLevel) {
+  const auto r = characterize_arbiter(3, 500, 13);
+  EXPECT_EQ(r.samples.size(), 500u);
+  EXPECT_GT(r.fit.r_squared, 0.5);
+  // Handover coefficient should be clearly positive.
+  EXPECT_GT(r.fit.coefficients[2], 0.0);
+  EXPECT_GT(r.fsm_model.total_energy_model, 0.2 * r.fsm_model.total_energy_ref);
+  EXPECT_LT(r.fsm_model.total_energy_model, 5.0 * r.fsm_model.total_energy_ref);
+}
+
+TEST(Characterize, RejectsTooFewSamples) {
+  EXPECT_THROW((void)characterize_decoder(4, 2, 1), sim::SimError);
+  EXPECT_THROW((void)characterize_mux(8, 2, 4, 1), sim::SimError);
+  EXPECT_THROW((void)characterize_arbiter(2, 4, 1), sim::SimError);
+}
+
+TEST(Characterize, DeterministicForFixedSeed) {
+  const auto a = characterize_decoder(4, 100, 5);
+  const auto b = characterize_decoder(4, 100, 5);
+  EXPECT_EQ(a.fit.coefficients, b.fit.coefficients);
+}
+
+}  // namespace
+}  // namespace ahbp::charlib

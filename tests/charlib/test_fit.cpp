@@ -1,0 +1,109 @@
+// Unit tests for the least-squares fitter and the linear solver.
+
+#include "charlib/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sim/report.hpp"
+
+namespace ahbp::charlib {
+namespace {
+
+using sim::SimError;
+
+TEST(Solver, Solves2x2) {
+  // 2x + y = 5 ; x - y = 1  ->  x = 2, y = 1
+  const auto x = solve_linear_system({2, 1, 1, -1}, {5, 1});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Solver, PivotsOnZeroDiagonal) {
+  // 0x + y = 3 ; x + 0y = 4
+  const auto x = solve_linear_system({0, 1, 1, 0}, {3, 4});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solver, RejectsSingular) {
+  EXPECT_THROW((void)solve_linear_system({1, 2, 2, 4}, {1, 2}), SimError);
+}
+
+TEST(Solver, RejectsShapeMismatch) {
+  EXPECT_THROW((void)solve_linear_system({1, 2, 3}, {1, 2}), SimError);
+}
+
+TEST(Fit, RecoversExactLinearRelation) {
+  // y = 3 + 2*x0 - x1, no noise.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  std::mt19937 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const double a = static_cast<double>(rng() % 100);
+    const double b = static_cast<double>(rng() % 100);
+    x.push_back({a, b});
+    y.push_back(3.0 + 2.0 * a - b);
+  }
+  const FitResult r = fit_linear(x, y);
+  ASSERT_EQ(r.coefficients.size(), 3u);
+  EXPECT_NEAR(r.coefficients[0], 3.0, 1e-8);
+  EXPECT_NEAR(r.coefficients[1], 2.0, 1e-10);
+  EXPECT_NEAR(r.coefficients[2], -1.0, 1e-10);
+  EXPECT_NEAR(r.r_squared, 1.0, 1e-12);
+  EXPECT_EQ(r.samples, 50u);
+}
+
+TEST(Fit, ToleratesNoise) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  std::mt19937 rng(7);
+  std::normal_distribution<double> noise(0.0, 0.5);
+  for (int i = 0; i < 500; ++i) {
+    const double a = static_cast<double>(rng() % 50);
+    x.push_back({a});
+    y.push_back(10.0 + 4.0 * a + noise(rng));
+  }
+  const FitResult r = fit_linear(x, y);
+  EXPECT_NEAR(r.coefficients[0], 10.0, 0.3);
+  EXPECT_NEAR(r.coefficients[1], 4.0, 0.05);
+  EXPECT_GT(r.r_squared, 0.99);
+}
+
+TEST(Fit, ConstantTargetGivesInterceptOnly) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({static_cast<double>(i)});
+    y.push_back(7.0);
+  }
+  const FitResult r = fit_linear(x, y);
+  EXPECT_NEAR(r.coefficients[0], 7.0, 1e-9);
+  EXPECT_NEAR(r.coefficients[1], 0.0, 1e-9);
+  EXPECT_NEAR(r.r_squared, 1.0, 1e-9);  // degenerate ss_tot handled
+}
+
+TEST(Fit, RejectsMisuse) {
+  EXPECT_THROW((void)fit_linear({}, {}), SimError);
+  EXPECT_THROW((void)fit_linear({{1.0}}, {1.0, 2.0}), SimError);
+  // Underdetermined: 2 unknowns, 1 sample.
+  EXPECT_THROW((void)fit_linear({{1.0}}, {1.0}), SimError);
+  // Ragged rows.
+  EXPECT_THROW((void)fit_linear({{1.0}, {1.0, 2.0}, {3.0}}, {1, 2, 3}), SimError);
+}
+
+TEST(Fit, CollinearFeaturesRejected) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    const double v = i;
+    x.push_back({v, 2 * v});  // perfectly collinear
+    y.push_back(v);
+  }
+  EXPECT_THROW((void)fit_linear(x, y), SimError);
+}
+
+}  // namespace
+}  // namespace ahbp::charlib

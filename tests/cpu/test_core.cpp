@@ -1,0 +1,385 @@
+// Architectural tests of Rv32Core against a flat memory harness --
+// no simulation kernel involved.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "cpu/encode.hpp"
+#include "cpu/programs.hpp"
+
+namespace ahbp::cpu {
+namespace {
+
+/// Flat word memory + run loop (the reference executor).
+struct Harness {
+  explicit Harness(std::size_t bytes = 0x4000) : mem(bytes / 4, 0) {}
+
+  void load(std::uint32_t base, const std::vector<std::uint32_t>& words) {
+    for (std::size_t i = 0; i < words.size(); ++i) mem.at(base / 4 + i) = words[i];
+  }
+  [[nodiscard]] std::uint32_t read(std::uint32_t addr) const {
+    return mem.at(addr / 4);
+  }
+  void write(std::uint32_t addr, std::uint32_t v) { mem.at(addr / 4) = v; }
+
+  /// Runs until halt or the instruction limit; returns instructions run.
+  std::uint64_t run(Rv32Core& core, std::uint64_t max_instr = 100000) {
+    std::uint64_t n = 0;
+    while (!core.halted() && n < max_instr) {
+      const MemOp op = core.execute(read(core.fetch_addr()));
+      switch (op.kind) {
+        case MemOp::Kind::kLoad:
+          core.complete_load(op, read(op.addr & ~3u));
+          break;
+        case MemOp::Kind::kStore: {
+          const std::uint32_t old = read(op.addr & ~3u);
+          write(op.addr & ~3u,
+                op.bytes == 4 ? op.wdata : (old & ~op.wmask) | op.wdata);
+          break;
+        }
+        case MemOp::Kind::kHalt:
+          return n;
+        case MemOp::Kind::kNone:
+          break;
+      }
+      ++n;
+    }
+    return n;
+  }
+
+  std::vector<std::uint32_t> mem;
+};
+
+TEST(Core, X0IsHardwiredZero) {
+  Harness h;
+  h.load(0, {enc::addi(0, 0, 123), enc::add(1, 0, 0), enc::ebreak()});
+  Rv32Core core;
+  h.run(core);
+  EXPECT_EQ(core.reg(0), 0u);
+  EXPECT_EQ(core.reg(1), 0u);
+}
+
+TEST(Core, AluImmediateOps) {
+  Harness h;
+  h.load(0, {
+                enc::addi(1, 0, 100),    // x1 = 100
+                enc::addi(2, 1, -50),    // x2 = 50
+                enc::slti(3, 2, 51),     // x3 = 1
+                enc::sltiu(4, 2, 49),    // x4 = 0
+                enc::xori(5, 1, 0xFF),   // x5 = 100 ^ 255
+                enc::ori(6, 1, 0x0F),    // x6 = 100 | 15
+                enc::andi(7, 1, 0x3C),   // x7 = 100 & 60
+                enc::slli(8, 1, 4),      // x8 = 1600
+                enc::srli(9, 8, 2),      // x9 = 400
+                enc::ebreak(),
+            });
+  Rv32Core core;
+  h.run(core);
+  EXPECT_EQ(core.reg(1), 100u);
+  EXPECT_EQ(core.reg(2), 50u);
+  EXPECT_EQ(core.reg(3), 1u);
+  EXPECT_EQ(core.reg(4), 0u);
+  EXPECT_EQ(core.reg(5), 100u ^ 255u);
+  EXPECT_EQ(core.reg(6), 100u | 15u);
+  EXPECT_EQ(core.reg(7), 100u & 60u);
+  EXPECT_EQ(core.reg(8), 1600u);
+  EXPECT_EQ(core.reg(9), 400u);
+}
+
+TEST(Core, SignedShiftAndCompare) {
+  Harness h;
+  h.load(0, {
+                enc::addi(1, 0, -8),    // x1 = -8
+                enc::srai(2, 1, 1),     // x2 = -4
+                enc::srli(3, 1, 28),    // x3 = 0xF (logical)
+                enc::slti(4, 1, 0),     // x4 = 1 (-8 < 0)
+                enc::sltiu(5, 1, 1),    // x5 = 0 (0xFFFFFFF8 not < 1)
+                enc::ebreak(),
+            });
+  Rv32Core core;
+  h.run(core);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(2)), -4);
+  EXPECT_EQ(core.reg(3), 0xFu);
+  EXPECT_EQ(core.reg(4), 1u);
+  EXPECT_EQ(core.reg(5), 0u);
+}
+
+TEST(Core, RegisterRegisterOps) {
+  Harness h;
+  h.load(0, {
+                enc::addi(1, 0, 12), enc::addi(2, 0, 5),
+                enc::add(3, 1, 2),   // 17
+                enc::sub(4, 1, 2),   // 7
+                enc::sll(5, 1, 2),   // 12 << 5
+                enc::xor_(6, 1, 2),  // 9
+                enc::or_(7, 1, 2),   // 13
+                enc::and_(8, 1, 2),  // 4
+                enc::slt(9, 2, 1),   // 1
+                enc::sltu(10, 1, 2), // 0
+                enc::ebreak(),
+            });
+  Rv32Core core;
+  h.run(core);
+  EXPECT_EQ(core.reg(3), 17u);
+  EXPECT_EQ(core.reg(4), 7u);
+  EXPECT_EQ(core.reg(5), 12u << 5);
+  EXPECT_EQ(core.reg(6), 9u);
+  EXPECT_EQ(core.reg(7), 13u);
+  EXPECT_EQ(core.reg(8), 4u);
+  EXPECT_EQ(core.reg(9), 1u);
+  EXPECT_EQ(core.reg(10), 0u);
+}
+
+TEST(Core, LuiAuipc) {
+  Harness h;
+  h.load(0, {enc::lui(1, 0x12345), enc::auipc(2, 1), enc::ebreak()});
+  Rv32Core core;
+  h.run(core);
+  EXPECT_EQ(core.reg(1), 0x12345000u);
+  EXPECT_EQ(core.reg(2), 4u + 0x1000u);  // pc of auipc is 4
+}
+
+TEST(Core, BranchesTakenAndNot) {
+  Harness h;
+  // if (x1 == x2) x3 = 1 else x3 = 2; then halt.
+  h.load(0, {
+                enc::addi(1, 0, 7),
+                enc::addi(2, 0, 7),
+                enc::beq(1, 2, 12),   // -> taken path
+                enc::addi(3, 0, 2),   // skipped
+                enc::jal(0, 8),       // skipped
+                enc::addi(3, 0, 1),   // taken path
+                enc::ebreak(),
+            });
+  Rv32Core core;
+  h.run(core);
+  EXPECT_EQ(core.reg(3), 1u);
+}
+
+TEST(Core, JalAndJalrLinkProperly) {
+  Harness h;
+  // call +12 (a "function" that sets x5 and returns), then halt.
+  h.load(0, {
+                enc::jal(1, 12),        // 0: call -> 12, x1 = 4
+                enc::addi(6, 0, 1),     // 4: after return
+                enc::ebreak(),          // 8
+                enc::addi(5, 0, 42),    // 12: body
+                enc::jalr(0, 1, 0),     // 16: return to x1 (= 4)
+            });
+  Rv32Core core;
+  h.run(core);
+  EXPECT_EQ(core.reg(5), 42u);
+  EXPECT_EQ(core.reg(6), 1u);
+  EXPECT_EQ(core.reg(1), 4u);
+}
+
+TEST(Core, WordLoadsAndStores) {
+  Harness h;
+  h.load(0, {
+                enc::addi(1, 0, 0x100),
+                enc::addi(2, 0, -123),
+                enc::sw(2, 1, 0),
+                enc::lw(3, 1, 0),
+                enc::ebreak(),
+            });
+  Rv32Core core;
+  h.run(core);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(3)), -123);
+  EXPECT_EQ(static_cast<std::int32_t>(h.read(0x100)), -123);
+}
+
+TEST(Core, SubWordLoadsSignAndZeroExtend) {
+  Harness h;
+  h.write(0x100, 0x80FF7F01);  // bytes: 01 7F FF 80 (LSB first)
+  h.load(0, {
+                enc::addi(1, 0, 0x100),
+                enc::lb(2, 1, 0),    // 0x01 -> 1
+                enc::lb(3, 1, 2),    // 0xFF -> -1
+                enc::lbu(4, 1, 2),   // 0xFF -> 255
+                enc::lh(5, 1, 2),    // 0x80FF -> sign-extended
+                enc::lhu(6, 1, 2),   // 0x80FF
+                enc::lh(7, 1, 0),    // 0x7F01
+                enc::ebreak(),
+            });
+  Rv32Core core;
+  h.run(core);
+  EXPECT_EQ(core.reg(2), 1u);
+  EXPECT_EQ(static_cast<std::int32_t>(core.reg(3)), -1);
+  EXPECT_EQ(core.reg(4), 255u);
+  EXPECT_EQ(core.reg(5), 0xFFFF80FFu);
+  EXPECT_EQ(core.reg(6), 0x80FFu);
+  EXPECT_EQ(core.reg(7), 0x7F01u);
+}
+
+TEST(Core, SubWordStoresMergeLanes) {
+  Harness h;
+  h.write(0x100, 0xAABBCCDD);
+  h.load(0, {
+                enc::addi(1, 0, 0x100),
+                enc::addi(2, 0, 0x11),
+                enc::sb(2, 1, 1),      // lane 1
+                enc::addi(3, 0, 0x7EE),
+                enc::sh(3, 1, 2),      // lanes 2-3
+                enc::ebreak(),
+            });
+  Rv32Core core;
+  h.run(core);
+  EXPECT_EQ(h.read(0x100), 0x07EE11DDu);
+}
+
+TEST(Core, HaltsOnEbreakEcallInvalid) {
+  for (const std::uint32_t stop : {enc::ebreak(), enc::ecall(), 0u}) {
+    Harness h;
+    h.load(0, {enc::addi(1, 0, 1), stop, enc::addi(1, 0, 99)});
+    Rv32Core core;
+    h.run(core);
+    EXPECT_TRUE(core.halted());
+    EXPECT_EQ(core.reg(1), 1u);  // never reached the instruction after
+    EXPECT_EQ(core.pc(), 4u);    // pc parked at the halting instruction
+  }
+}
+
+TEST(Core, InstretCountsRetiredInstructions) {
+  Harness h;
+  h.load(0, {enc::nop(), enc::nop(), enc::nop(), enc::ebreak()});
+  Rv32Core core;
+  h.run(core);
+  EXPECT_EQ(core.instret(), 3u);
+}
+
+// --- the canned programs, validated on the reference executor ------------
+
+TEST(Programs, SumArray) {
+  Harness h;
+  const std::uint32_t data = 0x1000;
+  for (int i = 0; i < 10; ++i) h.write(data + 4 * i, 10 + i);
+  h.load(0, progs::sum_array(data, 10));
+  Rv32Core core;
+  h.run(core);
+  EXPECT_TRUE(core.halted());
+  EXPECT_EQ(core.reg(10), 145u);  // 10+11+...+19
+}
+
+TEST(Programs, Fibonacci) {
+  const std::pair<unsigned, std::uint32_t> cases[] = {
+      {0, 0}, {1, 1}, {2, 1}, {7, 13}, {20, 6765}};
+  for (const auto& [n, expect] : cases) {
+    Harness h;
+    h.load(0, progs::fibonacci(n));
+    Rv32Core core;
+    h.run(core);
+    EXPECT_EQ(core.reg(10), expect) << "fib(" << n << ")";
+  }
+}
+
+TEST(Programs, MemcpyWords) {
+  Harness h;
+  for (int i = 0; i < 16; ++i) h.write(0x1000 + 4 * i, 0xC0DE0000u + i);
+  h.load(0, progs::memcpy_words(0x1000, 0x2000, 16));
+  Rv32Core core;
+  h.run(core);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(h.read(0x2000 + 4 * i), 0xC0DE0000u + i) << i;
+  }
+}
+
+TEST(Programs, MemcpyBytes) {
+  Harness h;
+  h.write(0x1000, 0x44332211);
+  h.write(0x1004, 0x88776655);
+  h.load(0, progs::memcpy_bytes(0x1001, 0x2002, 5));
+  Rv32Core core;
+  h.run(core);
+  // bytes 22 33 44 55 66 copied to 0x2002..0x2006
+  EXPECT_EQ(h.read(0x2000) >> 16, 0x3322u);
+  EXPECT_EQ(h.read(0x2004) & 0xFFFFFFu, 0x665544u);
+}
+
+TEST(Programs, Crc32MatchesHostImplementation) {
+  // Host-side reference CRC32 (reflected, poly 0xEDB88320).
+  auto host_crc = [](const std::vector<std::uint32_t>& data) {
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::uint32_t w : data) {
+      crc ^= w;
+      for (int b = 0; b < 32; ++b) {
+        crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+      }
+    }
+    return ~crc;
+  };
+
+  Harness h;
+  std::vector<std::uint32_t> data;
+  for (int i = 0; i < 12; ++i) {
+    data.push_back(0x9E3779B9u * (i + 1));
+    h.write(0x1000 + 4 * i, data.back());
+  }
+  h.load(0, progs::crc32_words(0x1000, 12));
+  Rv32Core core;
+  h.run(core, 1000000);
+  ASSERT_TRUE(core.halted());
+  EXPECT_EQ(core.reg(10), host_crc(data));
+}
+
+TEST(Programs, Crc32OfEmptyInput) {
+  Harness h;
+  h.load(0, progs::crc32_words(0x1000, 0));
+  Rv32Core core;
+  h.run(core);
+  ASSERT_TRUE(core.halted());
+  EXPECT_EQ(core.reg(10), 0u);  // ~0xFFFFFFFF
+}
+
+TEST(Programs, BubbleSortSortsDescendingInput) {
+  Harness h;
+  const unsigned n = 12;
+  for (unsigned i = 0; i < n; ++i) h.write(0x1000 + 4 * i, n - i);
+  h.load(0, progs::bubble_sort(0x1000, n));
+  Rv32Core core;
+  h.run(core, 1000000);
+  ASSERT_TRUE(core.halted());
+  for (unsigned i = 0; i < n; ++i) {
+    EXPECT_EQ(h.read(0x1000 + 4 * i), i + 1) << i;
+  }
+}
+
+TEST(Programs, BubbleSortHandlesRandomAndEdgeSizes) {
+  for (const unsigned n : {1u, 2u, 7u}) {
+    Harness h;
+    std::mt19937 rng(n);
+    std::vector<std::uint32_t> ref;
+    for (unsigned i = 0; i < n; ++i) {
+      const std::uint32_t v = rng() % 1000;
+      ref.push_back(v);
+      h.write(0x1000 + 4 * i, v);
+    }
+    std::sort(ref.begin(), ref.end());
+    h.load(0, progs::bubble_sort(0x1000, n));
+    Rv32Core core;
+    h.run(core, 1000000);
+    ASSERT_TRUE(core.halted()) << "n=" << n;
+    for (unsigned i = 0; i < n; ++i) {
+      EXPECT_EQ(h.read(0x1000 + 4 * i), ref[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Programs, FillRandomIsDeterministic) {
+  Harness a, b;
+  a.load(0, progs::fill_random(0x1000, 32, 0x1234));
+  b.load(0, progs::fill_random(0x1000, 32, 0x1234));
+  Rv32Core ca, cb;
+  a.run(ca);
+  b.run(cb);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.read(0x1000 + 4 * i), b.read(0x1000 + 4 * i));
+  }
+  EXPECT_NE(a.read(0x1000), a.read(0x1004));  // actually pseudo-random
+}
+
+}  // namespace
+}  // namespace ahbp::cpu

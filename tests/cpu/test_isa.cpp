@@ -1,0 +1,132 @@
+// ISA tests: encoder/decoder round-trips (property style over all
+// instructions), immediate sign handling, and disassembly.
+
+#include <gtest/gtest.h>
+
+#include "cpu/encode.hpp"
+#include "cpu/isa.hpp"
+
+namespace ahbp::cpu {
+namespace {
+
+TEST(Decode, RTypeRoundTrip) {
+  struct Case {
+    std::uint32_t word;
+    Op op;
+  };
+  const Case cases[] = {
+      {enc::add(1, 2, 3), Op::kAdd},   {enc::sub(4, 5, 6), Op::kSub},
+      {enc::sll(7, 8, 9), Op::kSll},   {enc::slt(10, 11, 12), Op::kSlt},
+      {enc::sltu(13, 14, 15), Op::kSltu}, {enc::xor_(16, 17, 18), Op::kXor},
+      {enc::srl(19, 20, 21), Op::kSrl},   {enc::sra(22, 23, 24), Op::kSra},
+      {enc::or_(25, 26, 27), Op::kOr},    {enc::and_(28, 29, 30), Op::kAnd},
+  };
+  for (const auto& c : cases) {
+    const Instr in = decode(c.word);
+    EXPECT_EQ(in.op, c.op) << to_string(c.op);
+  }
+  const Instr in = decode(enc::add(1, 2, 3));
+  EXPECT_EQ(in.rd, 1);
+  EXPECT_EQ(in.rs1, 2);
+  EXPECT_EQ(in.rs2, 3);
+}
+
+TEST(Decode, ITypeImmediatesSignExtend) {
+  Instr in = decode(enc::addi(5, 6, -1));
+  EXPECT_EQ(in.op, Op::kAddi);
+  EXPECT_EQ(in.imm, -1);
+  in = decode(enc::addi(5, 6, 2047));
+  EXPECT_EQ(in.imm, 2047);
+  in = decode(enc::addi(5, 6, -2048));
+  EXPECT_EQ(in.imm, -2048);
+  in = decode(enc::lw(3, 4, -16));
+  EXPECT_EQ(in.op, Op::kLw);
+  EXPECT_EQ(in.imm, -16);
+}
+
+TEST(Decode, ShiftImmediates) {
+  Instr in = decode(enc::slli(1, 2, 31));
+  EXPECT_EQ(in.op, Op::kSlli);
+  EXPECT_EQ(in.imm, 31);
+  in = decode(enc::srai(1, 2, 7));
+  EXPECT_EQ(in.op, Op::kSrai);
+  EXPECT_EQ(in.imm, 7);
+  in = decode(enc::srli(1, 2, 1));
+  EXPECT_EQ(in.op, Op::kSrli);
+}
+
+TEST(Decode, StoreImmediates) {
+  Instr in = decode(enc::sw(7, 8, -4));
+  EXPECT_EQ(in.op, Op::kSw);
+  EXPECT_EQ(in.rs2, 7);
+  EXPECT_EQ(in.rs1, 8);
+  EXPECT_EQ(in.imm, -4);
+  in = decode(enc::sb(1, 2, 2047));
+  EXPECT_EQ(in.imm, 2047);
+  in = decode(enc::sh(1, 2, -2048));
+  EXPECT_EQ(in.imm, -2048);
+}
+
+TEST(Decode, BranchOffsets) {
+  for (const std::int32_t off : {-4096, -20, -2, 2, 24, 4094}) {
+    const Instr in = decode(enc::beq(1, 2, off));
+    EXPECT_EQ(in.op, Op::kBeq);
+    EXPECT_EQ(in.imm, off) << off;
+  }
+  EXPECT_EQ(decode(enc::bne(1, 2, 8)).op, Op::kBne);
+  EXPECT_EQ(decode(enc::blt(1, 2, 8)).op, Op::kBlt);
+  EXPECT_EQ(decode(enc::bge(1, 2, 8)).op, Op::kBge);
+  EXPECT_EQ(decode(enc::bltu(1, 2, 8)).op, Op::kBltu);
+  EXPECT_EQ(decode(enc::bgeu(1, 2, 8)).op, Op::kBgeu);
+}
+
+TEST(Decode, JalOffsets) {
+  for (const std::int32_t off : {-1048576, -20, 2, 48, 1048574}) {
+    const Instr in = decode(enc::jal(1, off));
+    EXPECT_EQ(in.op, Op::kJal);
+    EXPECT_EQ(in.imm, off) << off;
+  }
+}
+
+TEST(Decode, UpperImmediates) {
+  Instr in = decode(enc::lui(3, 0xFFFFF));
+  EXPECT_EQ(in.op, Op::kLui);
+  EXPECT_EQ(static_cast<std::uint32_t>(in.imm), 0xFFFFF000u);
+  in = decode(enc::auipc(3, 1));
+  EXPECT_EQ(in.op, Op::kAuipc);
+  EXPECT_EQ(in.imm, 0x1000);
+}
+
+TEST(Decode, SystemAndFence) {
+  EXPECT_EQ(decode(enc::ecall()).op, Op::kEcall);
+  EXPECT_EQ(decode(enc::ebreak()).op, Op::kEbreak);
+  EXPECT_EQ(decode(enc::fence()).op, Op::kFence);
+  EXPECT_EQ(decode(enc::nop()).op, Op::kAddi);
+}
+
+TEST(Decode, InvalidEncodings) {
+  EXPECT_EQ(decode(0x00000000).op, Op::kInvalid);
+  EXPECT_EQ(decode(0xFFFFFFFF).op, Op::kInvalid);
+  EXPECT_EQ(decode(0x0000007F).op, Op::kInvalid);
+}
+
+TEST(Decode, InstrClassPredicates) {
+  EXPECT_TRUE(decode(enc::lw(1, 2, 0)).is_load());
+  EXPECT_TRUE(decode(enc::sb(1, 2, 0)).is_store());
+  EXPECT_TRUE(decode(enc::beq(1, 2, 4)).is_branch());
+  EXPECT_FALSE(decode(enc::add(1, 2, 3)).is_load());
+  EXPECT_FALSE(decode(enc::jal(0, 4)).is_branch());
+}
+
+TEST(Disassemble, ReadableOutput) {
+  EXPECT_EQ(disassemble(enc::addi(5, 5, -1)), "addi x5, x5, -1");
+  EXPECT_EQ(disassemble(enc::lw(1, 2, 8)), "lw x1, 8(x2)");
+  EXPECT_EQ(disassemble(enc::sw(7, 3, 0)), "sw x7, 0(x3)");
+  EXPECT_EQ(disassemble(enc::beq(5, 0, 24)), "beq x5, x0, 24");
+  EXPECT_EQ(disassemble(enc::add(10, 10, 1)), "add x10, x10, x1");
+  EXPECT_EQ(disassemble(enc::ebreak()), "ebreak");
+  EXPECT_EQ(disassemble(enc::lui(2, 0x12)), "lui x2, 0x12");
+}
+
+}  // namespace
+}  // namespace ahbp::cpu

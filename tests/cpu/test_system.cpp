@@ -1,0 +1,193 @@
+// System tests: the RV32I CPU running programs over the live AHB, under
+// the protocol monitor and the power estimator; coexistence with DMA.
+
+#include <gtest/gtest.h>
+
+#include "ahb/ahb.hpp"
+#include "cpu/cpu.hpp"
+#include "power/power.hpp"
+#include "sim/sim.hpp"
+
+namespace ahbp::cpu {
+namespace {
+
+using ahb::AhbBus;
+using ahb::BurstMaster;
+using ahb::BusMonitor;
+using ahb::DefaultMaster;
+using ahb::MemorySlave;
+
+struct CpuBench {
+  explicit CpuBench(const std::vector<std::uint32_t>& program,
+                    CpuMaster::Config cfg = CpuMaster::Config{})
+      : top(nullptr, "top"),
+        clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10)),
+        bus(&top, "ahb", clk),
+        dm(&top, "dm", bus),
+        cpu(&top, "cpu", bus, cfg),
+        rom(&top, "rom", bus, {.base = 0x0000, .size = 0x1000}),
+        ram(&top, "ram", bus, {.base = 0x1000, .size = 0x2000}),
+        mon_cfg{.fatal = false},
+        mon(&top, "mon", bus, mon_cfg) {
+    load_program(rom, cfg.reset_pc, program);
+    bus.finalize();
+  }
+
+  /// Runs until the CPU halts (or the cycle limit trips).
+  void run_to_halt(unsigned max_cycles = 100000) {
+    while (!cpu.halted() && max_cycles > 0) {
+      const unsigned chunk = std::min(max_cycles, 1000u);
+      kernel.run(sim::SimTime::ns(10) * chunk);
+      max_cycles -= chunk;
+    }
+  }
+
+  sim::Kernel kernel;
+  sim::Module top;
+  sim::Clock clk;
+  AhbBus bus;
+  DefaultMaster dm;
+  CpuMaster cpu;
+  MemorySlave rom;
+  MemorySlave ram;
+  BusMonitor::Config mon_cfg;
+  BusMonitor mon;
+};
+
+TEST(CpuSystem, FibonacciOverTheBus) {
+  CpuBench b(progs::fibonacci(20));
+  b.run_to_halt();
+  ASSERT_TRUE(b.cpu.halted());
+  EXPECT_EQ(b.cpu.core().reg(10), 6765u);
+  EXPECT_TRUE(b.mon.violations().empty());
+  EXPECT_GT(b.cpu.stats().fetches, 100u);
+}
+
+TEST(CpuSystem, MemcpyThroughTwoSlaves) {
+  CpuBench b(progs::memcpy_words(0x1000, 0x2000, 32));
+  for (int i = 0; i < 32; ++i) b.ram.poke(0x0 + 4 * i, 0xFEED0000u + i);
+  b.run_to_halt();
+  ASSERT_TRUE(b.cpu.halted());
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(b.ram.peek(0x1000 + 4 * i), 0xFEED0000u + i) << i;
+  }
+  EXPECT_EQ(b.cpu.stats().loads, 32u);
+  EXPECT_EQ(b.cpu.stats().stores, 32u);
+  EXPECT_TRUE(b.mon.violations().empty());
+}
+
+TEST(CpuSystem, ByteCopyUsesReadModifyWrite) {
+  CpuBench b(progs::memcpy_bytes(0x1000, 0x1100, 8));
+  b.ram.poke(0x0, 0x44332211);
+  b.ram.poke(0x4, 0x88776655);
+  b.run_to_halt();
+  ASSERT_TRUE(b.cpu.halted());
+  EXPECT_EQ(b.ram.peek(0x100), 0x44332211u);
+  EXPECT_EQ(b.ram.peek(0x104), 0x88776655u);
+  EXPECT_EQ(b.cpu.stats().rmw_stores, 8u);
+}
+
+TEST(CpuSystem, FillRandomMatchesReferenceExecutor) {
+  // Same program on the bus and on the flat reference harness (the core
+  // test file) must produce identical memory images.
+  CpuBench b(progs::fill_random(0x1000, 16, 0xCAFE));
+  b.run_to_halt();
+  ASSERT_TRUE(b.cpu.halted());
+
+  // Reference run.
+  Rv32Core ref;
+  std::vector<std::uint32_t> mem(0x4000 / 4, 0);
+  const auto prog = progs::fill_random(0x1000, 16, 0xCAFE);
+  for (std::size_t i = 0; i < prog.size(); ++i) mem[i] = prog[i];
+  while (!ref.halted()) {
+    const MemOp op = ref.execute(mem[ref.fetch_addr() / 4]);
+    if (op.kind == MemOp::Kind::kLoad) {
+      ref.complete_load(op, mem[(op.addr & ~3u) / 4]);
+    } else if (op.kind == MemOp::Kind::kStore) {
+      auto& w = mem[(op.addr & ~3u) / 4];
+      w = op.bytes == 4 ? op.wdata : (w & ~op.wmask) | op.wdata;
+    }
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(b.ram.peek(4 * i), mem[(0x1000 + 4 * i) / 4]) << i;
+  }
+  EXPECT_EQ(b.cpu.core().reg(10), ref.reg(10));
+}
+
+TEST(CpuSystem, WaitStatesSlowButDontBreakExecution) {
+  sim::Kernel k;
+  sim::Module top(nullptr, "top");
+  sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10));
+  AhbBus bus(&top, "ahb", clk);
+  DefaultMaster dm(&top, "dm", bus);
+  CpuMaster cpu(&top, "cpu", bus, {});
+  MemorySlave rom(&top, "rom", bus,
+                  {.base = 0x0000, .size = 0x1000, .wait_states = 2});
+  load_program(rom, 0, progs::fibonacci(10));
+  bus.finalize();
+  k.run(sim::SimTime::us(100));
+  ASSERT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.core().reg(10), 55u);
+}
+
+TEST(CpuSystem, YieldingCpuCoexistsWithDma) {
+  sim::Kernel k;
+  sim::Module top(nullptr, "top");
+  sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10));
+  AhbBus bus(&top, "ahb", clk);
+  DefaultMaster dm(&top, "dm", bus);
+  CpuMaster cpu(&top, "cpu", bus,
+                {.reset_pc = 0, .yield_every = 16, .yield_cycles = 4});
+  BurstMaster dma(&top, "dma", bus,
+                  {.addr_base = 0x2000,
+                   .addr_range = 0x1000,
+                   .burst = ahb::Burst::kIncr4,
+                   .seed = 9});
+  MemorySlave rom(&top, "rom", bus, {.base = 0x0000, .size = 0x1000});
+  MemorySlave ram(&top, "ram", bus, {.base = 0x1000, .size = 0x1000});
+  MemorySlave dmaram(&top, "dmaram", bus, {.base = 0x2000, .size = 0x1000});
+  load_program(rom, 0, progs::fibonacci(24));
+  bus.finalize();
+  ahb::BusMonitor::Config mc{.fatal = false};
+  ahb::BusMonitor mon(&top, "mon", bus, mc);
+
+  k.run(sim::SimTime::us(200));
+  ASSERT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.core().reg(10), 46368u);  // fib(24)
+  EXPECT_GT(dma.stats().bursts, 2u);      // DMA made progress too
+  EXPECT_EQ(dma.stats().read_mismatches, 0u);
+  EXPECT_TRUE(mon.violations().empty());
+}
+
+TEST(CpuSystem, PowerAnalysisOfARealProgram) {
+  CpuBench b(progs::memcpy_words(0x1000, 0x2000, 64));
+  power::AhbPowerEstimator est(&b.top, "power", b.bus);
+  for (int i = 0; i < 64; ++i) b.ram.poke(4 * i, 0xA5A50000u + i * 0x111);
+  b.run_to_halt();
+  ASSERT_TRUE(b.cpu.halted());
+  EXPECT_GT(est.total_energy(), 0.0);
+  // The serialized core alternates address and data phases, so its bus
+  // signature is READ/IDLE interleave with essentially no arbitration
+  // (it owns the bus for the whole program).
+  EXPECT_GT(power::data_transfer_share(est.fsm()), 0.4);
+  EXPECT_LT(power::arbitration_share(est.fsm()), 0.05);
+  const auto& tab = est.fsm().instructions();
+  ASSERT_TRUE(tab.count("IDLE_READ"));
+  ASSERT_TRUE(tab.count("READ_IDLE"));
+  EXPECT_GT(tab.at("IDLE_READ").count, 100u);
+}
+
+TEST(CpuSystem, InstructionsPerCycle) {
+  CpuBench b(progs::fibonacci(30));
+  b.run_to_halt();
+  ASSERT_TRUE(b.cpu.halted());
+  const double cycles =
+      static_cast<double>(b.kernel.now() / sim::SimTime::ns(10));
+  const double cpi = cycles / static_cast<double>(b.cpu.core().instret());
+  // Serialized fetch (2 cycles) + occasional memory ops: CPI in [2, 6].
+  EXPECT_GT(cpi, 1.5);
+  EXPECT_LT(cpi, 6.0);
+}
+
+}  // namespace
+}  // namespace ahbp::cpu

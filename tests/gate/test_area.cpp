@@ -1,0 +1,72 @@
+// Tests for NAND2-equivalent area estimation.
+
+#include "gate/area.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gate/synth.hpp"
+
+namespace ahbp::gate {
+namespace {
+
+TEST(Area, FactorsCoverEveryGateType) {
+  AreaFactors f;
+  for (const GateType t : {GateType::kNot, GateType::kBuf, GateType::kAnd,
+                           GateType::kOr, GateType::kNand, GateType::kNor,
+                           GateType::kXor, GateType::kXnor, GateType::kDff}) {
+    EXPECT_GT(f.of(t), 0.0) << to_string(t);
+  }
+  EXPECT_GT(f.of(GateType::kXor), f.of(GateType::kNand));
+  EXPECT_GT(f.of(GateType::kDff), f.of(GateType::kAnd));
+}
+
+TEST(Area, HandComputedNetlist) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.mark_input(a);
+  nl.mark_input(b);
+  const NetId x = nl.add_gate(GateType::kAnd, a, b);
+  const NetId y = nl.add_gate(GateType::kNot, x);
+  const NetId q = nl.add_dff(y, "q");
+  nl.mark_output(q);
+  nl.finalize();
+  const AreaFactors f;
+  EXPECT_DOUBLE_EQ(area_nand2(nl, f), f.and_gate + f.not_gate + f.dff);
+}
+
+TEST(Area, GrowsWithStructureSize) {
+  EXPECT_GT(area_nand2(build_onehot_decoder(16).nl),
+            area_nand2(build_onehot_decoder(4).nl));
+  EXPECT_GT(area_nand2(build_mux(32, 4).nl), area_nand2(build_mux(8, 4).nl));
+  EXPECT_GT(area_nand2(build_mux(16, 8).nl), area_nand2(build_mux(16, 2).nl));
+  EXPECT_GT(area_nand2(build_priority_arbiter(8).nl),
+            area_nand2(build_priority_arbiter(2).nl));
+}
+
+TEST(Area, AhbEstimateShape) {
+  const AhbAreaEstimate e = estimate_ahb_area(3, 4);
+  EXPECT_GT(e.decoder, 0.0);
+  EXPECT_GT(e.arbiter, 0.0);
+  // The wide master-side mux dominates the fabric area, mirroring its
+  // dominance of the power picture (Fig. 6).
+  EXPECT_GT(e.m2s_mux, e.s2m_mux);
+  EXPECT_GT(e.m2s_mux, e.decoder);
+  EXPECT_GT(e.m2s_mux, e.arbiter);
+  EXPECT_NEAR(e.total(), e.decoder + e.m2s_mux + e.s2m_mux + e.arbiter, 1e-9);
+}
+
+TEST(Area, MoreSlavesMoreFabric) {
+  const AhbAreaEstimate small = estimate_ahb_area(2, 2);
+  const AhbAreaEstimate big = estimate_ahb_area(2, 8);
+  EXPECT_GT(big.decoder, small.decoder);
+  EXPECT_GT(big.s2m_mux, small.s2m_mux);
+  EXPECT_GT(big.total(), small.total());
+}
+
+TEST(Area, MoreMastersMoreFabric) {
+  EXPECT_GT(estimate_ahb_area(8, 3).total(), estimate_ahb_area(2, 3).total());
+}
+
+}  // namespace
+}  // namespace ahbp::gate

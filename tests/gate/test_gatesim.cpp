@@ -1,0 +1,171 @@
+// Unit tests for the toggle-counting gate simulator and its energy model.
+
+#include "gate/gatesim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gate/synth.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::gate {
+namespace {
+
+using sim::SimError;
+
+/// a AND b with both nets observable.
+struct And2 {
+  Netlist nl;
+  NetId a, b, y;
+  And2() {
+    a = nl.add_net("a");
+    b = nl.add_net("b");
+    nl.mark_input(a);
+    nl.mark_input(b);
+    y = nl.add_gate(GateType::kAnd, a, b);
+    nl.mark_output(y);
+    nl.finalize();
+  }
+};
+
+TEST(GateSim, RequiresFinalizedNetlist) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_input(a);
+  EXPECT_THROW(GateSim{nl}, SimError);
+}
+
+TEST(GateSim, CombinationalEvaluation) {
+  And2 c;
+  GateSim simu(c.nl);
+  EXPECT_FALSE(simu.value(c.y));
+  simu.set_input(c.a, true);
+  simu.set_input(c.b, true);
+  simu.eval();
+  EXPECT_TRUE(simu.value(c.y));
+  simu.set_input(c.b, false);
+  simu.eval();
+  EXPECT_FALSE(simu.value(c.y));
+}
+
+TEST(GateSim, TogglesCountSettledTransitions) {
+  And2 c;
+  GateSim simu(c.nl);
+  simu.set_input(c.a, true);
+  simu.eval();  // a: 0->1; y stays 0
+  EXPECT_EQ(simu.toggles(c.a), 1u);
+  EXPECT_EQ(simu.toggles(c.y), 0u);
+  simu.set_input(c.b, true);
+  simu.eval();  // b: 0->1, y: 0->1
+  EXPECT_EQ(simu.toggles(c.b), 1u);
+  EXPECT_EQ(simu.toggles(c.y), 1u);
+  EXPECT_EQ(simu.total_toggles(), 3u);
+}
+
+TEST(GateSim, NoInputChangeNoEnergy) {
+  And2 c;
+  GateSim simu(c.nl);
+  simu.eval();
+  simu.eval();
+  EXPECT_EQ(simu.total_toggles(), 0u);
+  EXPECT_DOUBLE_EQ(simu.energy(), 0.0);
+}
+
+TEST(GateSim, EnergyMatchesHandComputation) {
+  And2 c;
+  const Technology tech;
+  GateSim simu(c.nl, tech);
+  simu.set_input(c.a, true);
+  simu.set_input(c.b, true);
+  simu.eval();
+  // Nets toggled: a (c_node + 1 input cap), b (same), y (c_node + c_out).
+  const double expected = tech.toggle_energy(tech.c_node + tech.c_in) * 2 +
+                          tech.toggle_energy(tech.c_node + tech.c_out);
+  EXPECT_DOUBLE_EQ(simu.energy(), expected);
+}
+
+TEST(GateSim, ResetAccountingKeepsState) {
+  And2 c;
+  GateSim simu(c.nl);
+  simu.set_input(c.a, true);
+  simu.set_input(c.b, true);
+  simu.eval();
+  EXPECT_GT(simu.energy(), 0.0);
+  simu.reset_accounting();
+  EXPECT_DOUBLE_EQ(simu.energy(), 0.0);
+  EXPECT_EQ(simu.total_toggles(), 0u);
+  EXPECT_TRUE(simu.value(c.y));  // logic state preserved
+}
+
+TEST(GateSim, SetInputOnNonInputThrows) {
+  And2 c;
+  GateSim simu(c.nl);
+  EXPECT_THROW(simu.set_input(c.y, true), SimError);
+}
+
+TEST(GateSim, DffCapturesOnTick) {
+  Netlist nl;
+  const NetId d = nl.add_net("d");
+  nl.mark_input(d);
+  const NetId q = nl.add_dff(d, "q");
+  nl.mark_output(q);
+  nl.finalize();
+  GateSim simu(nl);
+  simu.set_input(d, true);
+  simu.eval();  // combinational settle: q unchanged
+  EXPECT_FALSE(simu.value(q));
+  simu.tick();  // clock edge: q captures d
+  EXPECT_TRUE(simu.value(q));
+}
+
+TEST(GateSim, ToggleFlipFlopDividesByTwo) {
+  // q = DFF(not q) toggles every tick.
+  Netlist nl;
+  const NetId en = nl.add_net("en");
+  nl.mark_input(en);
+  const NetId dn = nl.add_net("d");
+  const NetId q = nl.add_dff(dn, "q");
+  nl.add_gate_onto(GateType::kNot, q, kInvalidNet, dn);
+  nl.mark_output(q);
+  nl.finalize();
+  GateSim simu(nl);
+  bool expected = false;
+  for (int i = 0; i < 6; ++i) {
+    simu.tick();
+    expected = !expected;
+    EXPECT_EQ(simu.value(q), expected) << "tick " << i;
+  }
+  EXPECT_EQ(simu.toggles(q), 6u);
+}
+
+TEST(GateSim, HigherVddMeansMoreEnergy) {
+  And2 c;
+  Technology lo;
+  lo.vdd = 1.2;
+  Technology hi;
+  hi.vdd = 3.3;
+  GateSim s_lo(c.nl, lo), s_hi(c.nl, hi);
+  for (GateSim* s : {&s_lo, &s_hi}) {
+    s->set_input(c.a, true);
+    s->set_input(c.b, true);
+    s->eval();
+  }
+  // Energy scales with VDD^2.
+  EXPECT_NEAR(s_hi.energy() / s_lo.energy(), (3.3 * 3.3) / (1.2 * 1.2), 1e-9);
+}
+
+TEST(GateSim, DecoderOutputsOneHot) {
+  DecoderNetlist dec = build_onehot_decoder(5);
+  GateSim simu(dec.nl);
+  for (unsigned v = 0; v < 5; ++v) {
+    for (unsigned b = 0; b < dec.addr.size(); ++b) {
+      simu.set_input(dec.addr[b], (v >> b & 1u) != 0);
+    }
+    simu.eval();
+    for (unsigned o = 0; o < dec.sel.size(); ++o) {
+      EXPECT_EQ(simu.value(dec.sel[o]), o == v) << "v=" << v << " o=" << o;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ahbp::gate

@@ -1,0 +1,141 @@
+// Unit tests for Netlist construction, validation and BLIF emission.
+
+#include "gate/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hpp"
+
+namespace ahbp::gate {
+namespace {
+
+using sim::SimError;
+
+TEST(Netlist, GateHelpers) {
+  EXPECT_EQ(arity(GateType::kNot), 1);
+  EXPECT_EQ(arity(GateType::kAnd), 2);
+  EXPECT_EQ(arity(GateType::kDff), 1);
+  EXPECT_TRUE(eval_gate(GateType::kAnd, true, true));
+  EXPECT_FALSE(eval_gate(GateType::kAnd, true, false));
+  EXPECT_TRUE(eval_gate(GateType::kOr, false, true));
+  EXPECT_TRUE(eval_gate(GateType::kNot, false, false));
+  EXPECT_TRUE(eval_gate(GateType::kXor, true, false));
+  EXPECT_FALSE(eval_gate(GateType::kXor, true, true));
+  EXPECT_TRUE(eval_gate(GateType::kXnor, true, true));
+  EXPECT_TRUE(eval_gate(GateType::kNand, false, true));
+  EXPECT_FALSE(eval_gate(GateType::kNor, false, true));
+  EXPECT_TRUE(eval_gate(GateType::kBuf, true, false));
+  EXPECT_THROW((void)eval_gate(GateType::kDff, true, false), SimError);
+  EXPECT_STREQ(to_string(GateType::kNand), "nand");
+}
+
+TEST(Netlist, BuildAndFinalize) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.mark_input(a);
+  nl.mark_input(b);
+  const NetId y = nl.add_gate(GateType::kAnd, a, b);
+  nl.mark_output(y);
+  nl.finalize();
+  EXPECT_TRUE(nl.finalized());
+  EXPECT_EQ(nl.net_count(), 3u);
+  EXPECT_EQ(nl.gate_count(), 1u);
+  EXPECT_EQ(nl.topo_order().size(), 1u);
+  EXPECT_TRUE(nl.is_input(a));
+  EXPECT_FALSE(nl.is_input(y));
+  EXPECT_TRUE(nl.is_output(y));
+}
+
+TEST(Netlist, UndrivenNetRejected) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_input(a);
+  (void)nl.add_net("floating");
+  EXPECT_THROW(nl.finalize(), SimError);
+}
+
+TEST(Netlist, MultipleDriversRejected) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_input(a);
+  const NetId y = nl.add_net("y");
+  nl.add_gate_onto(GateType::kBuf, a, kInvalidNet, y);
+  nl.add_gate_onto(GateType::kNot, a, kInvalidNet, y);
+  EXPECT_THROW(nl.finalize(), SimError);
+}
+
+TEST(Netlist, CombinationalCycleRejected) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_input(a);
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  nl.add_gate_onto(GateType::kAnd, a, y, x);
+  nl.add_gate_onto(GateType::kBuf, x, kInvalidNet, y);
+  EXPECT_THROW(nl.finalize(), SimError);
+}
+
+TEST(Netlist, CycleThroughDffAccepted) {
+  // A toggle flip-flop: q = DFF(not q).
+  Netlist nl;
+  const NetId en = nl.add_net("en");
+  nl.mark_input(en);
+  const NetId d = nl.add_net("d");
+  const NetId q = nl.add_dff(d, "q");
+  nl.add_gate_onto(GateType::kNot, q, kInvalidNet, d);
+  nl.mark_output(q);
+  EXPECT_NO_THROW(nl.finalize());
+  EXPECT_EQ(nl.dff_count(), 1u);
+}
+
+TEST(Netlist, TreeBuildsBalancedStructure) {
+  Netlist nl;
+  std::vector<NetId> ins;
+  for (int i = 0; i < 5; ++i) {
+    const NetId n = nl.add_net();
+    nl.mark_input(n);
+    ins.push_back(n);
+  }
+  const NetId root = nl.add_tree(GateType::kOr, ins);
+  nl.mark_output(root);
+  nl.finalize();
+  EXPECT_EQ(nl.gate_count(), 4u);  // 5-input OR needs 4 two-input gates
+}
+
+TEST(Netlist, TreeOfOneIsPassThrough) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_input(a);
+  EXPECT_EQ(nl.add_tree(GateType::kAnd, {a}), a);
+}
+
+TEST(Netlist, InvalidArgsThrow) {
+  Netlist nl;
+  EXPECT_THROW(nl.mark_input(99), SimError);
+  EXPECT_THROW(nl.mark_output(99), SimError);
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, 99, 98), SimError);
+  EXPECT_THROW(nl.add_dff(7), SimError);
+  EXPECT_THROW(nl.add_tree(GateType::kNot, {}), SimError);
+  const NetId a = nl.add_net("a");
+  EXPECT_THROW(nl.add_gate_onto(GateType::kDff, a, kInvalidNet, a), SimError);
+}
+
+TEST(Netlist, BlifEmission) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.mark_input(a);
+  nl.mark_input(b);
+  const NetId y = nl.add_gate(GateType::kAnd, a, b);
+  nl.mark_output(y);
+  nl.finalize();
+  const std::string blif = nl.to_blif("and2");
+  EXPECT_NE(blif.find(".model and2"), std::string::npos);
+  EXPECT_NE(blif.find(".inputs a b"), std::string::npos);
+  EXPECT_NE(blif.find("11 1"), std::string::npos);
+  EXPECT_NE(blif.find(".end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ahbp::gate

@@ -1,0 +1,127 @@
+// Tests for the live gate-level co-simulation cross-check.
+
+#include "power/cosim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ahb/ahb.hpp"
+#include "power/power.hpp"
+#include "sim/sim.hpp"
+
+namespace ahbp::power {
+namespace {
+
+using ahb::AhbBus;
+using ahb::DefaultMaster;
+using ahb::MemorySlave;
+using ahb::TrafficMaster;
+
+struct CosimBench {
+  CosimBench()
+      : top(nullptr, "top"),
+        clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10)),
+        bus(&top, "ahb", clk),
+        dm(&top, "dm", bus),
+        m1(&top, "m1", bus, {.addr_base = 0x0000, .addr_range = 0x1000, .seed = 21}),
+        m2(&top, "m2", bus, {.addr_base = 0x1000, .addr_range = 0x1000, .seed = 22}),
+        s1(&top, "s1", bus, {.base = 0x0000, .size = 0x1000}),
+        s2(&top, "s2", bus, {.base = 0x1000, .size = 0x1000}) {
+    bus.finalize();
+    check = std::make_unique<GateLevelCrossCheck>(&top, "cosim", bus);
+  }
+
+  void run_cycles(unsigned n) {
+    kernel.run(sim::SimTime::ns(10) * static_cast<std::int64_t>(n));
+  }
+
+  sim::Kernel kernel;
+  sim::Module top;
+  sim::Clock clk;
+  AhbBus bus;
+  DefaultMaster dm;
+  TrafficMaster m1, m2;
+  MemorySlave s1, s2;
+  std::unique_ptr<GateLevelCrossCheck> check;
+};
+
+TEST(CosimSeries, StatisticsOnKnownData) {
+  CosimSeries s;
+  s.model = {1.0, 2.0, 3.0, 4.0};
+  s.gate = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_DOUBLE_EQ(s.model_total(), 10.0);
+  EXPECT_DOUBLE_EQ(s.gate_total(), 20.0);
+  EXPECT_NEAR(s.correlation(), 1.0, 1e-12);  // perfectly linear
+  EXPECT_DOUBLE_EQ(s.totals_ratio(), 0.5);
+}
+
+TEST(CosimSeries, DegenerateCases) {
+  CosimSeries s;
+  EXPECT_DOUBLE_EQ(s.correlation(), 0.0);
+  EXPECT_DOUBLE_EQ(s.totals_ratio(), 0.0);
+  s.model = {1.0, 1.0};
+  s.gate = {2.0, 3.0};
+  EXPECT_DOUBLE_EQ(s.correlation(), 0.0);  // zero model variance
+}
+
+TEST(Cosim, RequiresFinalizedBus) {
+  sim::Kernel k;
+  sim::Module top(nullptr, "top");
+  sim::Clock clk(&top, "clk", sim::SimTime::ns(10));
+  AhbBus bus(&top, "ahb", clk);
+  EXPECT_THROW(GateLevelCrossCheck(&top, "c", bus), sim::SimError);
+}
+
+TEST(Cosim, SeriesGrowWithCycles) {
+  CosimBench b;
+  b.run_cycles(500);
+  EXPECT_GE(b.check->cycles(), 499u);
+  EXPECT_EQ(b.check->mux_series().model.size(), b.check->cycles());
+  EXPECT_EQ(b.check->mux_series().gate.size(), b.check->cycles());
+  EXPECT_EQ(b.check->arbiter_series().model.size(), b.check->cycles());
+}
+
+TEST(Cosim, MuxModelTracksGateLevelOnLiveTraffic) {
+  CosimBench b;
+  b.run_cycles(3000);
+  const CosimSeries& s = b.check->mux_series();
+  EXPECT_GT(s.gate_total(), 0.0);
+  EXPECT_GT(s.correlation(), 0.6)
+      << "macromodel should track gate-level per-cycle energy";
+  const double r = s.totals_ratio();
+  EXPECT_GT(r, 0.2);
+  EXPECT_LT(r, 5.0);
+}
+
+TEST(Cosim, ArbiterModelTracksGateLevelOnLiveTraffic) {
+  CosimBench b;
+  b.run_cycles(3000);
+  const CosimSeries& s = b.check->arbiter_series();
+  EXPECT_GT(s.gate_total(), 0.0);
+  // The simplified FSM's grant timing differs from the live arbiter's
+  // hold-while-requesting rule, so per-cycle correlation is moderate;
+  // total energy must still land in the right band.
+  EXPECT_GT(s.correlation(), 0.25);
+  const double r = s.totals_ratio();
+  EXPECT_GT(r, 0.3);
+  EXPECT_LT(r, 3.0);
+}
+
+TEST(Cosim, QuietBusMeansQuietGateStructures) {
+  // No traffic masters: only the default master idles on the bus, so the
+  // gate-level structures see (almost) no switching.
+  sim::Kernel k;
+  sim::Module top(nullptr, "top");
+  sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10));
+  AhbBus bus(&top, "ahb", clk);
+  DefaultMaster dm(&top, "dm", bus);
+  DefaultMaster dm2(&top, "dm2", bus);  // 2 masters so shapes are buildable
+  MemorySlave s(&top, "s", bus, {.base = 0, .size = 0x100});
+  bus.finalize();
+  GateLevelCrossCheck check(&top, "cosim", bus);
+  k.run(sim::SimTime::us(5));
+  EXPECT_DOUBLE_EQ(check.mux_series().gate_total(), 0.0);
+  EXPECT_DOUBLE_EQ(check.mux_series().model_total(), 0.0);
+}
+
+}  // namespace
+}  // namespace ahbp::power

@@ -1,0 +1,90 @@
+// Unit tests for the Clock waveform generator.
+
+#include "sim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ahbp::sim {
+namespace {
+
+struct EdgeRecorder : Module {
+  EdgeRecorder(Module* parent, Clock& clk)
+      : Module(parent, "rec"),
+        pos_(this, "pos", [this, &clk] { pos_times.push_back(kernel().now()); }),
+        neg_(this, "neg", [this, &clk] { neg_times.push_back(kernel().now()); }) {
+    pos_.sensitive(clk.posedge_event()).dont_initialize();
+    neg_.sensitive(clk.negedge_event()).dont_initialize();
+  }
+  std::vector<SimTime> pos_times, neg_times;
+  Method pos_, neg_;
+};
+
+TEST(Clock, PeriodicEdgesWithStartDelay) {
+  Kernel k;
+  Module top(nullptr, "top");
+  Clock clk(&top, "clk", SimTime::ns(10), 0.5, SimTime::ns(10));
+  EdgeRecorder rec(&top, clk);
+  k.run(SimTime::ns(45));
+  // Posedges at 10, 20, 30, 40; negedges at 15, 25, 35 (45 not yet settled).
+  ASSERT_GE(rec.pos_times.size(), 4u);
+  EXPECT_EQ(rec.pos_times[0], SimTime::ns(10));
+  EXPECT_EQ(rec.pos_times[1], SimTime::ns(20));
+  EXPECT_EQ(rec.pos_times[2], SimTime::ns(30));
+  EXPECT_EQ(rec.pos_times[3], SimTime::ns(40));
+  ASSERT_GE(rec.neg_times.size(), 3u);
+  EXPECT_EQ(rec.neg_times[0], SimTime::ns(15));
+  EXPECT_EQ(rec.neg_times[1], SimTime::ns(25));
+}
+
+TEST(Clock, ZeroStartDelayRisesAtTimeZero) {
+  Kernel k;
+  Module top(nullptr, "top");
+  Clock clk(&top, "clk", SimTime::ns(10));
+  EdgeRecorder rec(&top, clk);
+  k.run(SimTime::ns(19));
+  ASSERT_GE(rec.pos_times.size(), 2u);
+  EXPECT_EQ(rec.pos_times[0], SimTime::zero());
+  EXPECT_EQ(rec.pos_times[1], SimTime::ns(10));
+}
+
+TEST(Clock, DutyCycleControlsHighTime) {
+  Kernel k;
+  Module top(nullptr, "top");
+  Clock clk(&top, "clk", SimTime::ns(10), 0.3, SimTime::ns(10));
+  EdgeRecorder rec(&top, clk);
+  k.run(SimTime::ns(25));
+  ASSERT_GE(rec.pos_times.size(), 1u);
+  ASSERT_GE(rec.neg_times.size(), 1u);
+  EXPECT_EQ(rec.pos_times[0], SimTime::ns(10));
+  EXPECT_EQ(rec.neg_times[0], SimTime::ns(13));  // 30% of 10 ns high
+}
+
+TEST(Clock, ReadTracksLevel) {
+  Kernel k;
+  Module top(nullptr, "top");
+  Clock clk(&top, "clk", SimTime::ns(10), 0.5, SimTime::ns(10));
+  k.run(SimTime::ns(12));
+  EXPECT_TRUE(clk.read());  // inside the high phase (10..15)
+  k.run(SimTime::ns(5));
+  EXPECT_FALSE(clk.read());  // inside the low phase (15..20)
+}
+
+TEST(Clock, InvalidParametersThrow) {
+  Kernel k;
+  Module top(nullptr, "top");
+  EXPECT_THROW(Clock(&top, "c1", SimTime::zero()), SimError);
+  EXPECT_THROW(Clock(&top, "c2", SimTime::ns(10), 0.0), SimError);
+  EXPECT_THROW(Clock(&top, "c3", SimTime::ns(10), 1.0), SimError);
+}
+
+TEST(Clock, PeriodAccessor) {
+  Kernel k;
+  Module top(nullptr, "top");
+  Clock clk(&top, "clk", SimTime::ns(10));
+  EXPECT_EQ(clk.period(), SimTime::ns(10));
+}
+
+}  // namespace
+}  // namespace ahbp::sim

@@ -1,0 +1,159 @@
+// Property-style stress tests for the scheduler: randomized timed
+// notifications must fire in nondecreasing time order and FIFO within an
+// instant; long clock runs must stay phase-exact; randomized
+// signal-writer networks must stay deterministic.
+
+#include "sim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+namespace ahbp::sim {
+namespace {
+
+class StressSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressSeeds, TimedNotificationsFireInTimeOrder) {
+  Kernel k;
+  Module top(nullptr, "top");
+  std::mt19937_64 rng(GetParam());
+
+  constexpr int kEvents = 40;
+  std::vector<std::unique_ptr<Event>> events;
+  std::vector<std::unique_ptr<Method>> methods;
+  std::vector<std::pair<SimTime, int>> fired;  // (when, which)
+
+  for (int i = 0; i < kEvents; ++i) {
+    events.push_back(std::make_unique<Event>(&top, "e" + std::to_string(i)));
+    auto m = std::make_unique<Method>(
+        &top, "m" + std::to_string(i),
+        [&k, &fired, i] { fired.emplace_back(k.now(), i); });
+    m->sensitive(*events.back()).dont_initialize();
+    methods.push_back(std::move(m));
+  }
+
+  // Schedule each event at a random time; some share instants.
+  std::vector<SimTime> when(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    when[i] = SimTime::ns(1 + static_cast<std::int64_t>(rng() % 20));
+    events[i]->notify(when[i]);
+  }
+  k.run();
+
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(kEvents));
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1].first, fired[i].first) << "order violated at " << i;
+  }
+  // Each fired exactly at its scheduled time.
+  for (const auto& [t, idx] : fired) {
+    EXPECT_EQ(t, when[idx]);
+  }
+}
+
+TEST_P(StressSeeds, RepeatedRescheduleKeepsEarliestWins) {
+  Kernel k;
+  Module top(nullptr, "top");
+  std::mt19937_64 rng(GetParam() ^ 0x5555);
+  Event ev(&top, "ev");
+  std::vector<SimTime> fires;
+  Method m(&top, "m", [&] { fires.push_back(k.now()); });
+  m.sensitive(ev).dont_initialize();
+
+  // Many notifies before running: the earliest must win.
+  SimTime earliest = SimTime::max();
+  for (int i = 0; i < 25; ++i) {
+    const SimTime t = SimTime::ns(1 + static_cast<std::int64_t>(rng() % 1000));
+    earliest = std::min(earliest, t);
+    ev.notify(t);
+  }
+  k.run();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], earliest);
+}
+
+TEST_P(StressSeeds, RandomSignalNetworkIsDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    Kernel k;
+    Module top(nullptr, "top");
+    Clock clk(&top, "clk", SimTime::ns(10), 0.5, SimTime::ns(10));
+    std::mt19937_64 rng(seed);
+
+    constexpr int kSignals = 8;
+    std::vector<std::unique_ptr<Signal<std::uint32_t>>> sigs;
+    for (int i = 0; i < kSignals; ++i) {
+      sigs.push_back(std::make_unique<Signal<std::uint32_t>>(
+          &top, "s" + std::to_string(i), 0u));
+    }
+    // Random combinational network: each non-source signal derives from
+    // two earlier ones (acyclic by construction).
+    std::vector<std::unique_ptr<Method>> procs;
+    for (int i = 2; i < kSignals; ++i) {
+      const int a = static_cast<int>(rng() % i);
+      const int b = static_cast<int>(rng() % i);
+      auto* sa = sigs[a].get();
+      auto* sb = sigs[b].get();
+      auto* so = sigs[i].get();
+      auto m = std::make_unique<Method>(&top, "p" + std::to_string(i), [=] {
+        so->write(sa->read() * 3 + (sb->read() ^ 0x5A5Au));
+      });
+      m->sensitive(sa->value_changed_event()).sensitive(sb->value_changed_event());
+      procs.push_back(std::move(m));
+    }
+    // Driver: random values on the two source signals each clock.
+    auto drv = std::make_unique<Method>(&top, "drv", [&top, &sigs, &rng] {
+      sigs[0]->write(static_cast<std::uint32_t>(rng()));
+      sigs[1]->write(static_cast<std::uint32_t>(rng()));
+    });
+    drv->sensitive(clk.posedge_event()).dont_initialize();
+
+    k.run(SimTime::us(2));
+    std::uint64_t hash = 0;
+    for (const auto& s : sigs) hash = hash * 1099511628211ull + s->read();
+    return hash;
+  };
+  EXPECT_EQ(run_once(GetParam()), run_once(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSeeds,
+                         ::testing::Values(1ull, 7ull, 42ull, 1234ull, 99999ull));
+
+TEST(KernelStress, LongClockRunStaysPhaseExact) {
+  Kernel k;
+  Module top(nullptr, "top");
+  Clock clk(&top, "clk", SimTime::ns(10), 0.5, SimTime::ns(10));
+  std::uint64_t edges = 0;
+  SimTime last_edge;
+  Method m(&top, "count", [&] {
+    ++edges;
+    last_edge = k.now();
+  });
+  m.sensitive(clk.posedge_event()).dont_initialize();
+  k.run(SimTime::ms(1));  // 100k cycles
+  // Posedges at 10 ns, 20 ns, ..., 1 ms inclusive.
+  EXPECT_EQ(edges, 100000u);
+  EXPECT_EQ(last_edge, SimTime::ms(1));
+}
+
+TEST(KernelStress, ManyShortRunsEqualOneLongRun) {
+  auto run_chunked = [](int chunks) {
+    Kernel k;
+    Module top(nullptr, "top");
+    Clock clk(&top, "clk", SimTime::ns(10), 0.5, SimTime::ns(10));
+    std::uint64_t edges = 0;
+    Method m(&top, "count", [&] { ++edges; });
+    m.sensitive(clk.posedge_event()).dont_initialize();
+    for (int i = 0; i < chunks; ++i) {
+      k.run(SimTime::us(100) * (10 / chunks));
+    }
+    return edges;
+  };
+  EXPECT_EQ(run_chunked(1), run_chunked(2));
+  EXPECT_EQ(run_chunked(2), run_chunked(5));
+  EXPECT_EQ(run_chunked(5), run_chunked(10));
+}
+
+}  // namespace
+}  // namespace ahbp::sim

@@ -1,0 +1,87 @@
+// Unit tests for SimTime arithmetic, ordering and formatting.
+
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ahbp::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+  EXPECT_EQ(SimTime::zero().femtoseconds(), 0);
+}
+
+TEST(SimTime, UnitConstructorsScale) {
+  EXPECT_EQ(SimTime::ps(1).femtoseconds(), 1'000);
+  EXPECT_EQ(SimTime::ns(1).femtoseconds(), 1'000'000);
+  EXPECT_EQ(SimTime::us(1).femtoseconds(), 1'000'000'000);
+  EXPECT_EQ(SimTime::ms(1).femtoseconds(), 1'000'000'000'000);
+  EXPECT_EQ(SimTime::sec(1).femtoseconds(), 1'000'000'000'000'000);
+}
+
+TEST(SimTime, UnitAccessorsTruncate) {
+  const auto t = SimTime::ns(1) + SimTime::ps(499);
+  EXPECT_EQ(t.nanoseconds(), 1);
+  EXPECT_EQ(t.picoseconds(), 1'499);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::ns(1), SimTime::ns(2));
+  EXPECT_LE(SimTime::ns(2), SimTime::ns(2));
+  EXPECT_GT(SimTime::us(1), SimTime::ns(999));
+  EXPECT_EQ(SimTime::us(1), SimTime::ns(1000));
+}
+
+TEST(SimTime, Arithmetic) {
+  EXPECT_EQ(SimTime::ns(3) + SimTime::ns(4), SimTime::ns(7));
+  EXPECT_EQ(SimTime::ns(9) - SimTime::ns(4), SimTime::ns(5));
+  EXPECT_EQ(SimTime::ns(3) * 4, SimTime::ns(12));
+  EXPECT_EQ(5 * SimTime::ns(2), SimTime::ns(10));
+}
+
+TEST(SimTime, DivisionCountsPeriods) {
+  EXPECT_EQ(SimTime::us(1) / SimTime::ns(10), 100);
+  EXPECT_EQ(SimTime::ns(25) / SimTime::ns(10), 2);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::ns(1);
+  t += SimTime::ns(2);
+  EXPECT_EQ(t, SimTime::ns(3));
+  t -= SimTime::ns(1);
+  EXPECT_EQ(t, SimTime::ns(2));
+}
+
+TEST(SimTime, ToSeconds) {
+  EXPECT_DOUBLE_EQ(SimTime::us(1).to_seconds(), 1e-6);
+  EXPECT_DOUBLE_EQ(SimTime::ns(10).to_seconds(), 1e-8);
+  EXPECT_DOUBLE_EQ(SimTime::zero().to_seconds(), 0.0);
+}
+
+TEST(SimTime, MaxIsLargerThanEverything) {
+  EXPECT_GT(SimTime::max(), SimTime::sec(1000));
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::zero().to_string(), "0 s");
+  EXPECT_EQ(SimTime::ns(150).to_string(), "150 ns");
+  EXPECT_EQ(SimTime::us(2).to_string(), "2 us");
+  EXPECT_EQ(SimTime::fs(5).to_string(), "5 fs");
+}
+
+TEST(SimTime, ToStringFractional) {
+  const auto t = SimTime::us(2) + SimTime::ns(500);
+  EXPECT_EQ(t.to_string(), "2.500 us");
+}
+
+TEST(SimTime, StreamInsertion) {
+  std::ostringstream os;
+  os << SimTime::ns(42);
+  EXPECT_EQ(os.str(), "42 ns");
+}
+
+}  // namespace
+}  // namespace ahbp::sim

@@ -1,0 +1,94 @@
+// Tests for the VCD trace writer: header structure and value changes.
+
+#include "sim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ahbp::sim {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class VcdTest : public ::testing::Test {
+protected:
+  std::string path_ = ::testing::TempDir() + "ahbp_vcd_test.vcd";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(VcdTest, HeaderAndBoolChanges) {
+  {
+    Kernel k;
+    Module top(nullptr, "top");
+    Clock clk(&top, "clk", SimTime::ns(10), 0.5, SimTime::ns(10));
+    VcdWriter vcd(path_, k);
+    vcd.add(clk.signal());
+    k.run(SimTime::ns(25));
+  }
+  const std::string text = slurp(path_);
+  EXPECT_NE(text.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1 ! top_clk_clk $end"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(text.find("#10000\n1!"), std::string::npos);  // rise at 10 ns
+  EXPECT_NE(text.find("#15000\n0!"), std::string::npos);  // fall at 15 ns
+}
+
+TEST_F(VcdTest, VectorChannel) {
+  {
+    Kernel k;
+    Module top(nullptr, "top");
+    Signal<std::uint32_t> addr(&top, "addr", 0);
+    VcdWriter vcd(path_, k);
+    vcd.add(addr, 8);
+    Event go(&top, "go");
+    Method w(&top, "w", [&] { addr.write(0xA5); });
+    w.sensitive(go).dont_initialize();
+    go.notify(SimTime::ns(3));
+    k.run(SimTime::ns(5));
+  }
+  const std::string text = slurp(path_);
+  EXPECT_NE(text.find("$var wire 8 ! top_addr $end"), std::string::npos);
+  EXPECT_NE(text.find("b10100101 !"), std::string::npos);
+}
+
+TEST_F(VcdTest, NoRedundantDumpsForUnchangedValues) {
+  {
+    Kernel k;
+    Module top(nullptr, "top");
+    Signal<bool> s(&top, "s", false);
+    VcdWriter vcd(path_, k);
+    vcd.add(s);
+    k.run(SimTime::ns(50));
+  }
+  const std::string text = slurp(path_);
+  // Exactly one value line for the initial dump, no changes afterwards.
+  EXPECT_EQ(text.find("0!"), text.rfind("0!"));
+  EXPECT_EQ(text.find("1!"), std::string::npos);
+}
+
+TEST_F(VcdTest, AddAfterStartThrows) {
+  Kernel k;
+  Module top(nullptr, "top");
+  Signal<bool> s(&top, "s", false);
+  VcdWriter vcd(path_, k);
+  vcd.add(s);
+  k.run(SimTime::ns(1));
+  EXPECT_THROW(vcd.add(s), SimError);
+}
+
+TEST_F(VcdTest, UnopenablePathThrows) {
+  Kernel k;
+  EXPECT_THROW(VcdWriter("/nonexistent_dir_xyz/trace.vcd", k), SimError);
+}
+
+}  // namespace
+}  // namespace ahbp::sim

@@ -1,0 +1,116 @@
+// Tests for the multi-layer TLM interconnect: parallelism, contention,
+// energy accounting per layer.
+
+#include "tlm/multilayer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hpp"
+
+namespace ahbp::tlm {
+namespace {
+
+using sim::SimError;
+
+TEST(Multilayer, RejectsBadConfigs) {
+  EXPECT_THROW(MultilayerBus(MultilayerBus::Config{.n_masters = 0}), SimError);
+  MultilayerBus bus({.n_masters = 2});
+  TlmMemory a, b;
+  bus.map(a, 0, 0x100);
+  EXPECT_THROW(bus.map(b, 0x80, 0x100), SimError);
+  EXPECT_THROW(bus.map(b, 0x200, 0), SimError);
+}
+
+TEST(Multilayer, DisjointTrafficRunsInParallel) {
+  MultilayerBus bus({.n_masters = 2});
+  TlmMemory s0, s1;
+  bus.map(s0, 0x0000, 0x1000);
+  bus.map(s1, 0x1000, 0x1000);
+  for (int i = 0; i < 100; ++i) {
+    bus.write(0, 0x0000 + 4 * i, i);
+    bus.write(1, 0x1000 + 4 * i, i);
+  }
+  // Each layer did 100 cycles; global time = max, not sum.
+  EXPECT_EQ(bus.layer_cycles(0), 100u);
+  EXPECT_EQ(bus.layer_cycles(1), 100u);
+  EXPECT_EQ(bus.cycles(), 100u);
+  EXPECT_EQ(bus.transfers(), 200u);
+  EXPECT_EQ(bus.contention_cycles(), 0u);
+}
+
+TEST(Multilayer, SameSlaveTrafficSerializes) {
+  MultilayerBus bus({.n_masters = 2});
+  TlmMemory s0;
+  bus.map(s0, 0x0000, 0x1000);
+  for (int i = 0; i < 50; ++i) {
+    bus.write(0, 4 * i, i);
+    bus.write(1, 4 * i, i + 1000);
+  }
+  // The slave's input stage serializes: layers stall on each other.
+  EXPECT_GT(bus.contention_cycles(), 40u);
+  EXPECT_GE(bus.cycles(), 99u);  // ~2 transfers per global cycle impossible
+}
+
+TEST(Multilayer, DataIntegrityAcrossLayers) {
+  MultilayerBus bus({.n_masters = 3});
+  TlmMemory s0;
+  bus.map(s0, 0x0000, 0x1000);
+  bus.write(0, 0x10, 0xA);
+  bus.write(1, 0x14, 0xB);
+  bus.write(2, 0x18, 0xC);
+  std::uint32_t v = 0;
+  bus.read(2, 0x10, v);
+  EXPECT_EQ(v, 0xAu);
+  bus.read(0, 0x18, v);
+  EXPECT_EQ(v, 0xCu);
+}
+
+TEST(Multilayer, EnergyAccumulatesPerLayer) {
+  MultilayerBus bus({.n_masters = 2});
+  TlmMemory s0, s1;
+  bus.map(s0, 0x0000, 0x1000);
+  bus.map(s1, 0x1000, 0x1000);
+  for (int i = 0; i < 64; ++i) bus.write(0, 4 * i, 0xFFFFFFFFu * (i & 1));
+  EXPECT_GT(bus.layer_fsm(0).total_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(bus.layer_fsm(1).total_energy(), 0.0);  // layer 1 idle
+  EXPECT_NEAR(bus.total_energy(), bus.layer_fsm(0).total_energy(), 1e-18);
+}
+
+TEST(Multilayer, MoreLayersMoreFabricEnergyForSameWork) {
+  // The same serialized workload costs more on a multi-layer fabric than
+  // on a shared bus (duplicated input stages must still be clocked while
+  // a layer stalls) -- quantified by the topology bench; here we assert
+  // the qualitative ordering for the contended case.
+  auto shared_energy = [] {
+    TlmBus bus(TlmBus::Config{.n_masters = 2});
+    TlmMemory s;
+    bus.map(s, 0, 0x1000);
+    std::mt19937_64 rng(3);
+    for (int i = 0; i < 500; ++i) {
+      bus.write(i % 2, 4 * (rng() % 256), static_cast<std::uint32_t>(rng()));
+    }
+    return bus.total_energy();
+  }();
+  auto multi_energy = [] {
+    MultilayerBus bus({.n_masters = 2});
+    TlmMemory s;
+    bus.map(s, 0, 0x1000);
+    std::mt19937_64 rng(3);
+    for (int i = 0; i < 500; ++i) {
+      bus.write(i % 2, 4 * (rng() % 256), static_cast<std::uint32_t>(rng()));
+    }
+    return bus.total_energy();
+  }();
+  EXPECT_GT(multi_energy, shared_energy);
+}
+
+TEST(Multilayer, UnmappedAccessCountsError) {
+  MultilayerBus bus({.n_masters = 1});
+  TlmMemory s;
+  bus.map(s, 0, 0x100);
+  std::uint32_t v;
+  EXPECT_FALSE(bus.read(0, 0xFFFF, v));
+}
+
+}  // namespace
+}  // namespace ahbp::tlm

@@ -1,0 +1,211 @@
+// ahbpower_cli -- run a configurable AHB power analysis from the shell.
+//
+//   ahbpower_cli [options]
+//     --cycles N        bus cycles to simulate        (default 5000)
+//     --masters N       traffic masters (1..8)        (default 2)
+//     --slaves N        memory slaves (1..8)          (default 3)
+//     --waits N         wait states per slave         (default 0)
+//     --policy P        fixed | rr                    (default fixed)
+//     --seed N          base RNG seed                 (default 1)
+//     --window NS       power-trace window in ns      (default off)
+//     --table           print the instruction table
+//     --breakdown       print the sub-block breakdown
+//     --attribution     print per-master energy attribution
+//     --activity        print the switching-activity summary
+//     --csv FILE        write the power trace as CSV (needs --window)
+//     --trace-out FILE  record the transaction trace to FILE
+//     --quiet           only the one-line summary
+//
+// Exit code 0 on success, 2 on bad usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ahb/ahb.hpp"
+#include "power/power.hpp"
+#include "sim/sim.hpp"
+
+namespace {
+
+using namespace ahbp;
+
+struct Options {
+  std::uint64_t cycles = 5000;
+  unsigned masters = 2;
+  unsigned slaves = 3;
+  unsigned waits = 0;
+  ahb::ArbitrationPolicy policy = ahb::ArbitrationPolicy::kFixedPriority;
+  std::uint64_t seed = 1;
+  std::int64_t window_ns = 0;
+  bool table = false;
+  bool breakdown = false;
+  bool attribution = false;
+  bool activity = false;
+  bool quiet = false;
+  std::string csv;
+  std::string trace_out;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--cycles N] [--masters N] [--slaves N] [--waits N]\n"
+               "          [--policy fixed|rr] [--seed N] [--window NS]\n"
+               "          [--table] [--breakdown] [--attribution] [--activity]\n"
+               "          [--csv FILE] [--trace-out FILE] [--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--cycles") {
+      o.cycles = std::strtoull(need_value(i), nullptr, 0);
+    } else if (a == "--masters") {
+      o.masters = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 0));
+    } else if (a == "--slaves") {
+      o.slaves = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 0));
+    } else if (a == "--waits") {
+      o.waits = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 0));
+    } else if (a == "--policy") {
+      const std::string p = need_value(i);
+      if (p == "fixed") {
+        o.policy = ahb::ArbitrationPolicy::kFixedPriority;
+      } else if (p == "rr") {
+        o.policy = ahb::ArbitrationPolicy::kRoundRobin;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (a == "--seed") {
+      o.seed = std::strtoull(need_value(i), nullptr, 0);
+    } else if (a == "--window") {
+      o.window_ns = std::strtoll(need_value(i), nullptr, 0);
+    } else if (a == "--table") {
+      o.table = true;
+    } else if (a == "--breakdown") {
+      o.breakdown = true;
+    } else if (a == "--attribution") {
+      o.attribution = true;
+    } else if (a == "--activity") {
+      o.activity = true;
+    } else if (a == "--csv") {
+      o.csv = need_value(i);
+    } else if (a == "--trace-out") {
+      o.trace_out = need_value(i);
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (o.masters < 1 || o.masters > 8 || o.slaves < 1 || o.slaves > 8) {
+    usage(argv[0]);
+  }
+  if (!o.csv.empty() && o.window_ns <= 0) {
+    std::fputs("--csv requires --window\n", stderr);
+    std::exit(2);
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  sim::Kernel kernel;
+  sim::Module top(nullptr, "top");
+  sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10));
+  ahb::AhbBus bus(&top, "ahb", clk, ahb::AhbBus::Config{.policy = o.policy});
+
+  ahb::DefaultMaster dm(&top, "default_master", bus);
+  std::vector<std::unique_ptr<ahb::TrafficMaster>> masters;
+  for (unsigned m = 0; m < o.masters; ++m) {
+    masters.push_back(std::make_unique<ahb::TrafficMaster>(
+        &top, "m" + std::to_string(m + 1), bus,
+        ahb::TrafficMaster::Config{
+            .addr_base = 0x1000u * (m % o.slaves),
+            .addr_range = 0x1000,
+            .seed = o.seed + 97 * m,
+        }));
+  }
+  std::vector<std::unique_ptr<ahb::MemorySlave>> slaves;
+  for (unsigned s = 0; s < o.slaves; ++s) {
+    slaves.push_back(std::make_unique<ahb::MemorySlave>(
+        &top, "s" + std::to_string(s + 1), bus,
+        ahb::MemorySlave::Config{.base = 0x1000u * s,
+                                 .size = 0x1000,
+                                 .wait_states = o.waits}));
+  }
+  bus.finalize();
+
+  ahb::BusMonitor::Config mon_cfg{.fatal = false};
+  ahb::BusMonitor mon(&top, "monitor", bus, mon_cfg);
+  power::AhbPowerEstimator est(
+      &top, "power", bus,
+      power::AhbPowerEstimator::Config{
+          .trace_window = o.window_ns > 0 ? sim::SimTime::ns(o.window_ns)
+                                          : sim::SimTime::zero()});
+  std::unique_ptr<ahb::TraceRecorder> recorder;
+  if (!o.trace_out.empty()) {
+    recorder = std::make_unique<ahb::TraceRecorder>(&top, "recorder", bus);
+  }
+
+  kernel.run(sim::SimTime::ns(10) * static_cast<std::int64_t>(o.cycles));
+  est.flush_trace();
+
+  const double secs = kernel.now().to_seconds();
+  std::printf("ahbpower: %llu cycles @ 100 MHz | %llu transfers | %s | avg %s | "
+              "data %.1f%% arb %.1f%% | %zu violations\n",
+              static_cast<unsigned long long>(est.fsm().cycles()),
+              static_cast<unsigned long long>(mon.stats().transfers),
+              power::format_energy(est.total_energy()).c_str(),
+              power::format_power(est.total_energy() / secs).c_str(),
+              100.0 * power::data_transfer_share(est.fsm()),
+              100.0 * power::arbitration_share(est.fsm()),
+              mon.violations().size());
+  if (o.quiet) return 0;
+
+  if (o.table) {
+    std::putchar('\n');
+    std::fputs(power::format_instruction_table(est.fsm()).c_str(), stdout);
+  }
+  if (o.breakdown) {
+    std::putchar('\n');
+    std::fputs(power::format_block_breakdown(est.block_totals()).c_str(), stdout);
+  }
+  if (o.attribution) {
+    std::vector<std::string> names{"default_master"};
+    for (unsigned m = 0; m < o.masters; ++m) {
+      names.push_back("m" + std::to_string(m + 1));
+    }
+    std::putchar('\n');
+    std::fputs(power::format_master_attribution(est.fsm(), names).c_str(), stdout);
+  }
+  if (o.activity) {
+    std::putchar('\n');
+    std::fputs(power::format_activity_report(est.fsm().activity()).c_str(), stdout);
+  }
+  if (!o.csv.empty()) {
+    std::ofstream out(o.csv);
+    power::write_trace_csv(out, *est.trace());
+    std::printf("\npower trace written to %s\n", o.csv.c_str());
+  }
+  if (recorder) {
+    std::ofstream out(o.trace_out);
+    recorder->trace().save(out);
+    std::printf("transaction trace (%zu transfers) written to %s\n",
+                recorder->trace().size(), o.trace_out.c_str());
+  }
+  return 0;
+}
