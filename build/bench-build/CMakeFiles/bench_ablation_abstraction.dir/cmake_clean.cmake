@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_abstraction"
+  "../bench/bench_ablation_abstraction.pdb"
+  "CMakeFiles/bench_ablation_abstraction.dir/bench_ablation_abstraction.cpp.o"
+  "CMakeFiles/bench_ablation_abstraction.dir/bench_ablation_abstraction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cosim_validation"
+  "../bench/bench_cosim_validation.pdb"
+  "CMakeFiles/bench_cosim_validation.dir/bench_cosim_validation.cpp.o"
+  "CMakeFiles/bench_cosim_validation.dir/bench_cosim_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cosim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dpm"
+  "../bench/bench_dpm.pdb"
+  "CMakeFiles/bench_dpm.dir/bench_dpm.cpp.o"
+  "CMakeFiles/bench_dpm.dir/bench_dpm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

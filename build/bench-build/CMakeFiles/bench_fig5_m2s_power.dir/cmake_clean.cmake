@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_m2s_power"
+  "../bench/bench_fig5_m2s_power.pdb"
+  "CMakeFiles/bench_fig5_m2s_power.dir/bench_fig5_m2s_power.cpp.o"
+  "CMakeFiles/bench_fig5_m2s_power.dir/bench_fig5_m2s_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_m2s_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

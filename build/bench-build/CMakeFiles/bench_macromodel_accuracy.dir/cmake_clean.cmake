@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_macromodel_accuracy"
+  "../bench/bench_macromodel_accuracy.pdb"
+  "CMakeFiles/bench_macromodel_accuracy.dir/bench_macromodel_accuracy.cpp.o"
+  "CMakeFiles/bench_macromodel_accuracy.dir/bench_macromodel_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_macromodel_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_overhead.cpp" "bench-build/CMakeFiles/bench_overhead.dir/bench_overhead.cpp.o" "gcc" "bench-build/CMakeFiles/bench_overhead.dir/bench_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/ahbp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/ahbp_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/ahb/CMakeFiles/ahbp_ahb.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/ahbp_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ahbp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

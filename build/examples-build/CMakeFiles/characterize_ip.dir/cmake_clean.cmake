@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/characterize_ip"
+  "../examples/characterize_ip.pdb"
+  "CMakeFiles/characterize_ip.dir/characterize_ip.cpp.o"
+  "CMakeFiles/characterize_ip.dir/characterize_ip.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

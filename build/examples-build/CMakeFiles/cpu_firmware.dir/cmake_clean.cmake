@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cpu_firmware"
+  "../examples/cpu_firmware.pdb"
+  "CMakeFiles/cpu_firmware.dir/cpu_firmware.cpp.o"
+  "CMakeFiles/cpu_firmware.dir/cpu_firmware.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

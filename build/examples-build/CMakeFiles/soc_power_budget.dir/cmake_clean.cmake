@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/soc_power_budget"
+  "../examples/soc_power_budget.pdb"
+  "CMakeFiles/soc_power_budget.dir/soc_power_budget.cpp.o"
+  "CMakeFiles/soc_power_budget.dir/soc_power_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_power_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

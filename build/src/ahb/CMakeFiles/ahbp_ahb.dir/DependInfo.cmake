@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ahb/arbiter.cpp" "src/ahb/CMakeFiles/ahbp_ahb.dir/arbiter.cpp.o" "gcc" "src/ahb/CMakeFiles/ahbp_ahb.dir/arbiter.cpp.o.d"
+  "/root/repo/src/ahb/burst.cpp" "src/ahb/CMakeFiles/ahbp_ahb.dir/burst.cpp.o" "gcc" "src/ahb/CMakeFiles/ahbp_ahb.dir/burst.cpp.o.d"
+  "/root/repo/src/ahb/bus.cpp" "src/ahb/CMakeFiles/ahbp_ahb.dir/bus.cpp.o" "gcc" "src/ahb/CMakeFiles/ahbp_ahb.dir/bus.cpp.o.d"
+  "/root/repo/src/ahb/decoder.cpp" "src/ahb/CMakeFiles/ahbp_ahb.dir/decoder.cpp.o" "gcc" "src/ahb/CMakeFiles/ahbp_ahb.dir/decoder.cpp.o.d"
+  "/root/repo/src/ahb/master.cpp" "src/ahb/CMakeFiles/ahbp_ahb.dir/master.cpp.o" "gcc" "src/ahb/CMakeFiles/ahbp_ahb.dir/master.cpp.o.d"
+  "/root/repo/src/ahb/monitor.cpp" "src/ahb/CMakeFiles/ahbp_ahb.dir/monitor.cpp.o" "gcc" "src/ahb/CMakeFiles/ahbp_ahb.dir/monitor.cpp.o.d"
+  "/root/repo/src/ahb/mux.cpp" "src/ahb/CMakeFiles/ahbp_ahb.dir/mux.cpp.o" "gcc" "src/ahb/CMakeFiles/ahbp_ahb.dir/mux.cpp.o.d"
+  "/root/repo/src/ahb/slave.cpp" "src/ahb/CMakeFiles/ahbp_ahb.dir/slave.cpp.o" "gcc" "src/ahb/CMakeFiles/ahbp_ahb.dir/slave.cpp.o.d"
+  "/root/repo/src/ahb/trace.cpp" "src/ahb/CMakeFiles/ahbp_ahb.dir/trace.cpp.o" "gcc" "src/ahb/CMakeFiles/ahbp_ahb.dir/trace.cpp.o.d"
+  "/root/repo/src/ahb/types.cpp" "src/ahb/CMakeFiles/ahbp_ahb.dir/types.cpp.o" "gcc" "src/ahb/CMakeFiles/ahbp_ahb.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ahbp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

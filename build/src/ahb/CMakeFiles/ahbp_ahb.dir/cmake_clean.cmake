@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahbp_ahb.dir/arbiter.cpp.o"
+  "CMakeFiles/ahbp_ahb.dir/arbiter.cpp.o.d"
+  "CMakeFiles/ahbp_ahb.dir/burst.cpp.o"
+  "CMakeFiles/ahbp_ahb.dir/burst.cpp.o.d"
+  "CMakeFiles/ahbp_ahb.dir/bus.cpp.o"
+  "CMakeFiles/ahbp_ahb.dir/bus.cpp.o.d"
+  "CMakeFiles/ahbp_ahb.dir/decoder.cpp.o"
+  "CMakeFiles/ahbp_ahb.dir/decoder.cpp.o.d"
+  "CMakeFiles/ahbp_ahb.dir/master.cpp.o"
+  "CMakeFiles/ahbp_ahb.dir/master.cpp.o.d"
+  "CMakeFiles/ahbp_ahb.dir/monitor.cpp.o"
+  "CMakeFiles/ahbp_ahb.dir/monitor.cpp.o.d"
+  "CMakeFiles/ahbp_ahb.dir/mux.cpp.o"
+  "CMakeFiles/ahbp_ahb.dir/mux.cpp.o.d"
+  "CMakeFiles/ahbp_ahb.dir/slave.cpp.o"
+  "CMakeFiles/ahbp_ahb.dir/slave.cpp.o.d"
+  "CMakeFiles/ahbp_ahb.dir/trace.cpp.o"
+  "CMakeFiles/ahbp_ahb.dir/trace.cpp.o.d"
+  "CMakeFiles/ahbp_ahb.dir/types.cpp.o"
+  "CMakeFiles/ahbp_ahb.dir/types.cpp.o.d"
+  "libahbp_ahb.a"
+  "libahbp_ahb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahbp_ahb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahbp_apb.dir/bridge.cpp.o"
+  "CMakeFiles/ahbp_apb.dir/bridge.cpp.o.d"
+  "CMakeFiles/ahbp_apb.dir/peripherals.cpp.o"
+  "CMakeFiles/ahbp_apb.dir/peripherals.cpp.o.d"
+  "CMakeFiles/ahbp_apb.dir/power.cpp.o"
+  "CMakeFiles/ahbp_apb.dir/power.cpp.o.d"
+  "libahbp_apb.a"
+  "libahbp_apb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahbp_apb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

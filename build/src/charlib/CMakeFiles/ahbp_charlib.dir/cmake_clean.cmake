@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahbp_charlib.dir/characterize.cpp.o"
+  "CMakeFiles/ahbp_charlib.dir/characterize.cpp.o.d"
+  "CMakeFiles/ahbp_charlib.dir/fit.cpp.o"
+  "CMakeFiles/ahbp_charlib.dir/fit.cpp.o.d"
+  "CMakeFiles/ahbp_charlib.dir/stimulus.cpp.o"
+  "CMakeFiles/ahbp_charlib.dir/stimulus.cpp.o.d"
+  "CMakeFiles/ahbp_charlib.dir/table.cpp.o"
+  "CMakeFiles/ahbp_charlib.dir/table.cpp.o.d"
+  "libahbp_charlib.a"
+  "libahbp_charlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahbp_charlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

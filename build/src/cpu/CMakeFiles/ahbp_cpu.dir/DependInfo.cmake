@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/ahb_cpu.cpp" "src/cpu/CMakeFiles/ahbp_cpu.dir/ahb_cpu.cpp.o" "gcc" "src/cpu/CMakeFiles/ahbp_cpu.dir/ahb_cpu.cpp.o.d"
+  "/root/repo/src/cpu/core.cpp" "src/cpu/CMakeFiles/ahbp_cpu.dir/core.cpp.o" "gcc" "src/cpu/CMakeFiles/ahbp_cpu.dir/core.cpp.o.d"
+  "/root/repo/src/cpu/isa.cpp" "src/cpu/CMakeFiles/ahbp_cpu.dir/isa.cpp.o" "gcc" "src/cpu/CMakeFiles/ahbp_cpu.dir/isa.cpp.o.d"
+  "/root/repo/src/cpu/programs.cpp" "src/cpu/CMakeFiles/ahbp_cpu.dir/programs.cpp.o" "gcc" "src/cpu/CMakeFiles/ahbp_cpu.dir/programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ahbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ahb/CMakeFiles/ahbp_ahb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

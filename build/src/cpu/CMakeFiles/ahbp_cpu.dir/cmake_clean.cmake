@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahbp_cpu.dir/ahb_cpu.cpp.o"
+  "CMakeFiles/ahbp_cpu.dir/ahb_cpu.cpp.o.d"
+  "CMakeFiles/ahbp_cpu.dir/core.cpp.o"
+  "CMakeFiles/ahbp_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/ahbp_cpu.dir/isa.cpp.o"
+  "CMakeFiles/ahbp_cpu.dir/isa.cpp.o.d"
+  "CMakeFiles/ahbp_cpu.dir/programs.cpp.o"
+  "CMakeFiles/ahbp_cpu.dir/programs.cpp.o.d"
+  "libahbp_cpu.a"
+  "libahbp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahbp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gate/area.cpp" "src/gate/CMakeFiles/ahbp_gate.dir/area.cpp.o" "gcc" "src/gate/CMakeFiles/ahbp_gate.dir/area.cpp.o.d"
+  "/root/repo/src/gate/blif.cpp" "src/gate/CMakeFiles/ahbp_gate.dir/blif.cpp.o" "gcc" "src/gate/CMakeFiles/ahbp_gate.dir/blif.cpp.o.d"
+  "/root/repo/src/gate/gatesim.cpp" "src/gate/CMakeFiles/ahbp_gate.dir/gatesim.cpp.o" "gcc" "src/gate/CMakeFiles/ahbp_gate.dir/gatesim.cpp.o.d"
+  "/root/repo/src/gate/netlist.cpp" "src/gate/CMakeFiles/ahbp_gate.dir/netlist.cpp.o" "gcc" "src/gate/CMakeFiles/ahbp_gate.dir/netlist.cpp.o.d"
+  "/root/repo/src/gate/synth.cpp" "src/gate/CMakeFiles/ahbp_gate.dir/synth.cpp.o" "gcc" "src/gate/CMakeFiles/ahbp_gate.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ahbp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

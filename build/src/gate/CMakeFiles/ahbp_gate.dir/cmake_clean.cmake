@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahbp_gate.dir/area.cpp.o"
+  "CMakeFiles/ahbp_gate.dir/area.cpp.o.d"
+  "CMakeFiles/ahbp_gate.dir/blif.cpp.o"
+  "CMakeFiles/ahbp_gate.dir/blif.cpp.o.d"
+  "CMakeFiles/ahbp_gate.dir/gatesim.cpp.o"
+  "CMakeFiles/ahbp_gate.dir/gatesim.cpp.o.d"
+  "CMakeFiles/ahbp_gate.dir/netlist.cpp.o"
+  "CMakeFiles/ahbp_gate.dir/netlist.cpp.o.d"
+  "CMakeFiles/ahbp_gate.dir/synth.cpp.o"
+  "CMakeFiles/ahbp_gate.dir/synth.cpp.o.d"
+  "libahbp_gate.a"
+  "libahbp_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahbp_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

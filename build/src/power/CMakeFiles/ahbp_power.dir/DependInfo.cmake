@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/activity.cpp" "src/power/CMakeFiles/ahbp_power.dir/activity.cpp.o" "gcc" "src/power/CMakeFiles/ahbp_power.dir/activity.cpp.o.d"
+  "/root/repo/src/power/analytic.cpp" "src/power/CMakeFiles/ahbp_power.dir/analytic.cpp.o" "gcc" "src/power/CMakeFiles/ahbp_power.dir/analytic.cpp.o.d"
+  "/root/repo/src/power/cosim.cpp" "src/power/CMakeFiles/ahbp_power.dir/cosim.cpp.o" "gcc" "src/power/CMakeFiles/ahbp_power.dir/cosim.cpp.o.d"
+  "/root/repo/src/power/estimator.cpp" "src/power/CMakeFiles/ahbp_power.dir/estimator.cpp.o" "gcc" "src/power/CMakeFiles/ahbp_power.dir/estimator.cpp.o.d"
+  "/root/repo/src/power/governor.cpp" "src/power/CMakeFiles/ahbp_power.dir/governor.cpp.o" "gcc" "src/power/CMakeFiles/ahbp_power.dir/governor.cpp.o.d"
+  "/root/repo/src/power/macromodel.cpp" "src/power/CMakeFiles/ahbp_power.dir/macromodel.cpp.o" "gcc" "src/power/CMakeFiles/ahbp_power.dir/macromodel.cpp.o.d"
+  "/root/repo/src/power/power_fsm.cpp" "src/power/CMakeFiles/ahbp_power.dir/power_fsm.cpp.o" "gcc" "src/power/CMakeFiles/ahbp_power.dir/power_fsm.cpp.o.d"
+  "/root/repo/src/power/report.cpp" "src/power/CMakeFiles/ahbp_power.dir/report.cpp.o" "gcc" "src/power/CMakeFiles/ahbp_power.dir/report.cpp.o.d"
+  "/root/repo/src/power/styles.cpp" "src/power/CMakeFiles/ahbp_power.dir/styles.cpp.o" "gcc" "src/power/CMakeFiles/ahbp_power.dir/styles.cpp.o.d"
+  "/root/repo/src/power/system.cpp" "src/power/CMakeFiles/ahbp_power.dir/system.cpp.o" "gcc" "src/power/CMakeFiles/ahbp_power.dir/system.cpp.o.d"
+  "/root/repo/src/power/trace.cpp" "src/power/CMakeFiles/ahbp_power.dir/trace.cpp.o" "gcc" "src/power/CMakeFiles/ahbp_power.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ahbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/ahbp_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/ahb/CMakeFiles/ahbp_ahb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahbp_power.dir/activity.cpp.o"
+  "CMakeFiles/ahbp_power.dir/activity.cpp.o.d"
+  "CMakeFiles/ahbp_power.dir/analytic.cpp.o"
+  "CMakeFiles/ahbp_power.dir/analytic.cpp.o.d"
+  "CMakeFiles/ahbp_power.dir/cosim.cpp.o"
+  "CMakeFiles/ahbp_power.dir/cosim.cpp.o.d"
+  "CMakeFiles/ahbp_power.dir/estimator.cpp.o"
+  "CMakeFiles/ahbp_power.dir/estimator.cpp.o.d"
+  "CMakeFiles/ahbp_power.dir/governor.cpp.o"
+  "CMakeFiles/ahbp_power.dir/governor.cpp.o.d"
+  "CMakeFiles/ahbp_power.dir/macromodel.cpp.o"
+  "CMakeFiles/ahbp_power.dir/macromodel.cpp.o.d"
+  "CMakeFiles/ahbp_power.dir/power_fsm.cpp.o"
+  "CMakeFiles/ahbp_power.dir/power_fsm.cpp.o.d"
+  "CMakeFiles/ahbp_power.dir/report.cpp.o"
+  "CMakeFiles/ahbp_power.dir/report.cpp.o.d"
+  "CMakeFiles/ahbp_power.dir/styles.cpp.o"
+  "CMakeFiles/ahbp_power.dir/styles.cpp.o.d"
+  "CMakeFiles/ahbp_power.dir/system.cpp.o"
+  "CMakeFiles/ahbp_power.dir/system.cpp.o.d"
+  "CMakeFiles/ahbp_power.dir/trace.cpp.o"
+  "CMakeFiles/ahbp_power.dir/trace.cpp.o.d"
+  "libahbp_power.a"
+  "libahbp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahbp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

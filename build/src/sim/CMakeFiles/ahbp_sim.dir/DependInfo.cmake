@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/clock.cpp" "src/sim/CMakeFiles/ahbp_sim.dir/clock.cpp.o" "gcc" "src/sim/CMakeFiles/ahbp_sim.dir/clock.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/sim/CMakeFiles/ahbp_sim.dir/event.cpp.o" "gcc" "src/sim/CMakeFiles/ahbp_sim.dir/event.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/ahbp_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/ahbp_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/module.cpp" "src/sim/CMakeFiles/ahbp_sim.dir/module.cpp.o" "gcc" "src/sim/CMakeFiles/ahbp_sim.dir/module.cpp.o.d"
+  "/root/repo/src/sim/object.cpp" "src/sim/CMakeFiles/ahbp_sim.dir/object.cpp.o" "gcc" "src/sim/CMakeFiles/ahbp_sim.dir/object.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/sim/CMakeFiles/ahbp_sim.dir/process.cpp.o" "gcc" "src/sim/CMakeFiles/ahbp_sim.dir/process.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/ahbp_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/ahbp_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/sim/CMakeFiles/ahbp_sim.dir/time.cpp.o" "gcc" "src/sim/CMakeFiles/ahbp_sim.dir/time.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/ahbp_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/ahbp_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahbp_sim.dir/clock.cpp.o"
+  "CMakeFiles/ahbp_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/ahbp_sim.dir/event.cpp.o"
+  "CMakeFiles/ahbp_sim.dir/event.cpp.o.d"
+  "CMakeFiles/ahbp_sim.dir/kernel.cpp.o"
+  "CMakeFiles/ahbp_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/ahbp_sim.dir/module.cpp.o"
+  "CMakeFiles/ahbp_sim.dir/module.cpp.o.d"
+  "CMakeFiles/ahbp_sim.dir/object.cpp.o"
+  "CMakeFiles/ahbp_sim.dir/object.cpp.o.d"
+  "CMakeFiles/ahbp_sim.dir/process.cpp.o"
+  "CMakeFiles/ahbp_sim.dir/process.cpp.o.d"
+  "CMakeFiles/ahbp_sim.dir/report.cpp.o"
+  "CMakeFiles/ahbp_sim.dir/report.cpp.o.d"
+  "CMakeFiles/ahbp_sim.dir/time.cpp.o"
+  "CMakeFiles/ahbp_sim.dir/time.cpp.o.d"
+  "CMakeFiles/ahbp_sim.dir/vcd.cpp.o"
+  "CMakeFiles/ahbp_sim.dir/vcd.cpp.o.d"
+  "libahbp_sim.a"
+  "libahbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahbp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahbp_tlm.dir/multilayer.cpp.o"
+  "CMakeFiles/ahbp_tlm.dir/multilayer.cpp.o.d"
+  "CMakeFiles/ahbp_tlm.dir/tlm.cpp.o"
+  "CMakeFiles/ahbp_tlm.dir/tlm.cpp.o.d"
+  "libahbp_tlm.a"
+  "libahbp_tlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahbp_tlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ahbp_tlm.
+# This may be replaced when dependencies are built.

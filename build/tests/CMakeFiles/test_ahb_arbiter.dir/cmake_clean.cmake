@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ahb_arbiter.dir/ahb/test_arbiter.cpp.o"
+  "CMakeFiles/test_ahb_arbiter.dir/ahb/test_arbiter.cpp.o.d"
+  "test_ahb_arbiter"
+  "test_ahb_arbiter.pdb"
+  "test_ahb_arbiter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ahb_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

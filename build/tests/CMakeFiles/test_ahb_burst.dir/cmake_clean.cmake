@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ahb_burst.dir/ahb/test_burst.cpp.o"
+  "CMakeFiles/test_ahb_burst.dir/ahb/test_burst.cpp.o.d"
+  "test_ahb_burst"
+  "test_ahb_burst.pdb"
+  "test_ahb_burst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ahb_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

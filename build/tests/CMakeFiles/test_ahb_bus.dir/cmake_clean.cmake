@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ahb_bus.dir/ahb/test_bus.cpp.o"
+  "CMakeFiles/test_ahb_bus.dir/ahb/test_bus.cpp.o.d"
+  "test_ahb_bus"
+  "test_ahb_bus.pdb"
+  "test_ahb_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ahb_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

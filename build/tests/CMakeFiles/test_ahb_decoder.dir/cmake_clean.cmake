@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ahb_decoder.dir/ahb/test_decoder.cpp.o"
+  "CMakeFiles/test_ahb_decoder.dir/ahb/test_decoder.cpp.o.d"
+  "test_ahb_decoder"
+  "test_ahb_decoder.pdb"
+  "test_ahb_decoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ahb_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

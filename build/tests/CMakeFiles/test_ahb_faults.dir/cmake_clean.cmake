@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ahb_faults.dir/ahb/test_faults.cpp.o"
+  "CMakeFiles/test_ahb_faults.dir/ahb/test_faults.cpp.o.d"
+  "test_ahb_faults"
+  "test_ahb_faults.pdb"
+  "test_ahb_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ahb_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

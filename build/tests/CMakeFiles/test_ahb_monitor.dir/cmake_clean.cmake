@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ahb_monitor.dir/ahb/test_monitor.cpp.o"
+  "CMakeFiles/test_ahb_monitor.dir/ahb/test_monitor.cpp.o.d"
+  "test_ahb_monitor"
+  "test_ahb_monitor.pdb"
+  "test_ahb_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ahb_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

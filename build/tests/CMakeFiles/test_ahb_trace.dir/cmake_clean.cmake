@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ahb_trace.dir/ahb/test_trace.cpp.o"
+  "CMakeFiles/test_ahb_trace.dir/ahb/test_trace.cpp.o.d"
+  "test_ahb_trace"
+  "test_ahb_trace.pdb"
+  "test_ahb_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ahb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

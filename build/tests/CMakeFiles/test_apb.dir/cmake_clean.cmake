@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apb.dir/apb/test_apb.cpp.o"
+  "CMakeFiles/test_apb.dir/apb/test_apb.cpp.o.d"
+  "test_apb"
+  "test_apb.pdb"
+  "test_apb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apb_uart.dir/apb/test_uart.cpp.o"
+  "CMakeFiles/test_apb_uart.dir/apb/test_uart.cpp.o.d"
+  "test_apb_uart"
+  "test_apb_uart.pdb"
+  "test_apb_uart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apb_uart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charlib_characterize.dir/charlib/test_characterize.cpp.o"
+  "CMakeFiles/test_charlib_characterize.dir/charlib/test_characterize.cpp.o.d"
+  "test_charlib_characterize"
+  "test_charlib_characterize.pdb"
+  "test_charlib_characterize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charlib_characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

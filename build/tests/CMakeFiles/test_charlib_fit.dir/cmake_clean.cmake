@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charlib_fit.dir/charlib/test_fit.cpp.o"
+  "CMakeFiles/test_charlib_fit.dir/charlib/test_fit.cpp.o.d"
+  "test_charlib_fit"
+  "test_charlib_fit.pdb"
+  "test_charlib_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charlib_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

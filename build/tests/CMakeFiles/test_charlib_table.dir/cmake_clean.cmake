@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charlib_table.dir/charlib/test_table.cpp.o"
+  "CMakeFiles/test_charlib_table.dir/charlib/test_table.cpp.o.d"
+  "test_charlib_table"
+  "test_charlib_table.pdb"
+  "test_charlib_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charlib_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_core.dir/cpu/test_core.cpp.o"
+  "CMakeFiles/test_cpu_core.dir/cpu/test_core.cpp.o.d"
+  "test_cpu_core"
+  "test_cpu_core.pdb"
+  "test_cpu_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

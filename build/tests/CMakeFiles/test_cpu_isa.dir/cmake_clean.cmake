@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_isa.dir/cpu/test_isa.cpp.o"
+  "CMakeFiles/test_cpu_isa.dir/cpu/test_isa.cpp.o.d"
+  "test_cpu_isa"
+  "test_cpu_isa.pdb"
+  "test_cpu_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

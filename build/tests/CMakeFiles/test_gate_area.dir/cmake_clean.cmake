@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_area.dir/gate/test_area.cpp.o"
+  "CMakeFiles/test_gate_area.dir/gate/test_area.cpp.o.d"
+  "test_gate_area"
+  "test_gate_area.pdb"
+  "test_gate_area[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_blif.dir/gate/test_blif.cpp.o"
+  "CMakeFiles/test_gate_blif.dir/gate/test_blif.cpp.o.d"
+  "test_gate_blif"
+  "test_gate_blif.pdb"
+  "test_gate_blif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_blif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_gatesim.dir/gate/test_gatesim.cpp.o"
+  "CMakeFiles/test_gate_gatesim.dir/gate/test_gatesim.cpp.o.d"
+  "test_gate_gatesim"
+  "test_gate_gatesim.pdb"
+  "test_gate_gatesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_gatesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_synth.dir/gate/test_synth.cpp.o"
+  "CMakeFiles/test_gate_synth.dir/gate/test_synth.cpp.o.d"
+  "test_gate_synth"
+  "test_gate_synth.pdb"
+  "test_gate_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

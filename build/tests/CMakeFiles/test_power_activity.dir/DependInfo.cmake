@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/power/test_activity.cpp" "tests/CMakeFiles/test_power_activity.dir/power/test_activity.cpp.o" "gcc" "tests/CMakeFiles/test_power_activity.dir/power/test_activity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ahbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ahbp_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/ahbp_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/ahb/CMakeFiles/ahbp_ahb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_activity.dir/power/test_activity.cpp.o"
+  "CMakeFiles/test_power_activity.dir/power/test_activity.cpp.o.d"
+  "test_power_activity"
+  "test_power_activity.pdb"
+  "test_power_activity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

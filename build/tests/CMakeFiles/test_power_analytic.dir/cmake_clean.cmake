@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_analytic.dir/power/test_analytic.cpp.o"
+  "CMakeFiles/test_power_analytic.dir/power/test_analytic.cpp.o.d"
+  "test_power_analytic"
+  "test_power_analytic.pdb"
+  "test_power_analytic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

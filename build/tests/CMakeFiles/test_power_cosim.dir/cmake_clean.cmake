@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_cosim.dir/power/test_cosim.cpp.o"
+  "CMakeFiles/test_power_cosim.dir/power/test_cosim.cpp.o.d"
+  "test_power_cosim"
+  "test_power_cosim.pdb"
+  "test_power_cosim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

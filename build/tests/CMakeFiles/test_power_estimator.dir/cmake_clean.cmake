@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_estimator.dir/power/test_estimator.cpp.o"
+  "CMakeFiles/test_power_estimator.dir/power/test_estimator.cpp.o.d"
+  "test_power_estimator"
+  "test_power_estimator.pdb"
+  "test_power_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

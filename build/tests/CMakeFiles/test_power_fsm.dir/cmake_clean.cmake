@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_fsm.dir/power/test_power_fsm.cpp.o"
+  "CMakeFiles/test_power_fsm.dir/power/test_power_fsm.cpp.o.d"
+  "test_power_fsm"
+  "test_power_fsm.pdb"
+  "test_power_fsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_fsm_properties.dir/power/test_fsm_properties.cpp.o"
+  "CMakeFiles/test_power_fsm_properties.dir/power/test_fsm_properties.cpp.o.d"
+  "test_power_fsm_properties"
+  "test_power_fsm_properties.pdb"
+  "test_power_fsm_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_fsm_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_governor.dir/power/test_governor.cpp.o"
+  "CMakeFiles/test_power_governor.dir/power/test_governor.cpp.o.d"
+  "test_power_governor"
+  "test_power_governor.pdb"
+  "test_power_governor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_macromodel.dir/power/test_macromodel.cpp.o"
+  "CMakeFiles/test_power_macromodel.dir/power/test_macromodel.cpp.o.d"
+  "test_power_macromodel"
+  "test_power_macromodel.pdb"
+  "test_power_macromodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_macromodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_step_repeated.dir/power/test_step_repeated.cpp.o"
+  "CMakeFiles/test_power_step_repeated.dir/power/test_step_repeated.cpp.o.d"
+  "test_power_step_repeated"
+  "test_power_step_repeated.pdb"
+  "test_power_step_repeated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_step_repeated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

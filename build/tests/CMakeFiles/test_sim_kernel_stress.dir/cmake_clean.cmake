@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_kernel_stress.dir/sim/test_kernel_stress.cpp.o"
+  "CMakeFiles/test_sim_kernel_stress.dir/sim/test_kernel_stress.cpp.o.d"
+  "test_sim_kernel_stress"
+  "test_sim_kernel_stress.pdb"
+  "test_sim_kernel_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_kernel_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_signal.dir/sim/test_signal.cpp.o"
+  "CMakeFiles/test_sim_signal.dir/sim/test_signal.cpp.o.d"
+  "test_sim_signal"
+  "test_sim_signal.pdb"
+  "test_sim_signal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

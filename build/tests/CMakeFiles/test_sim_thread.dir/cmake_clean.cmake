@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_thread.dir/sim/test_thread.cpp.o"
+  "CMakeFiles/test_sim_thread.dir/sim/test_thread.cpp.o.d"
+  "test_sim_thread"
+  "test_sim_thread.pdb"
+  "test_sim_thread[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tlm_multilayer.dir/tlm/test_multilayer.cpp.o"
+  "CMakeFiles/test_tlm_multilayer.dir/tlm/test_multilayer.cpp.o.d"
+  "test_tlm_multilayer"
+  "test_tlm_multilayer.pdb"
+  "test_tlm_multilayer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tlm_multilayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

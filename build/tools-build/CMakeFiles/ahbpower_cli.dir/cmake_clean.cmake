@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/ahbpower_cli"
+  "../tools/ahbpower_cli.pdb"
+  "CMakeFiles/ahbpower_cli.dir/ahbpower_cli.cpp.o"
+  "CMakeFiles/ahbpower_cli.dir/ahbpower_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahbpower_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
