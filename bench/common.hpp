@@ -5,8 +5,11 @@
 // default master, and three slaves on an AMBA AHB, clocked at 100 MHz.
 
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "ahb/ahb.hpp"
+#include "campaign/campaign.hpp"
 #include "power/power.hpp"
 #include "sim/sim.hpp"
 
@@ -60,5 +63,22 @@ struct PaperSystem {
   ahb::MemorySlave s1, s2, s3;
   std::unique_ptr<power::AhbPowerEstimator> est;
 };
+
+/// Campaign spec over the paper testbench: builds a complete
+/// PaperSystem (kernel included) on whatever thread executes the spec,
+/// runs it for `duration`, and reports the estimator's totals. Seeds
+/// live in `opt`, so the same spec is bit-identical on every rerun.
+inline campaign::RunSpec paper_run_spec(std::string name, PaperSystem::Options opt,
+                                        sim::SimTime duration) {
+  return campaign::RunSpec{std::move(name), [opt, duration] {
+                             PaperSystem sys(opt);
+                             sys.run(duration);
+                             campaign::PowerReport r;
+                             r.total_energy = sys.est->total_energy();
+                             r.blocks = sys.est->block_totals();
+                             r.cycles = sys.est->fsm().cycles();
+                             return r;
+                           }};
+}
 
 }  // namespace ahbp::bench

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ahb/ahb.hpp"
+#include "campaign/campaign.hpp"
 #include "gate/area.hpp"
 #include "power/power.hpp"
 #include "sim/sim.hpp"
@@ -21,47 +22,48 @@ namespace {
 
 using namespace ahbp;
 
-struct RunResult {
-  std::uint64_t transfers = 0;
-  std::uint64_t handovers = 0;
-  double energy = 0.0;
-  double energy_per_transfer = 0.0;
-};
+/// One configuration as a campaign spec: the whole system (kernel
+/// included) is built, run and torn down on the worker thread; fixed
+/// seeds make every rerun bit-identical.
+campaign::RunSpec config_spec(ahb::ArbitrationPolicy policy, unsigned wait_states,
+                              unsigned n_slaves) {
+  return {"cfg", [policy, wait_states, n_slaves] {
+            sim::Kernel kernel;
+            sim::Module top(nullptr, "top");
+            sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5,
+                           sim::SimTime::ns(10));
+            ahb::AhbBus bus(&top, "ahb", clk, ahb::AhbBus::Config{.policy = policy});
 
-RunResult run_config(ahb::ArbitrationPolicy policy, unsigned wait_states,
-                     unsigned n_slaves) {
-  sim::Kernel kernel;
-  sim::Module top(nullptr, "top");
-  sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10));
-  ahb::AhbBus bus(&top, "ahb", clk, ahb::AhbBus::Config{.policy = policy});
+            ahb::DefaultMaster dm(&top, "dm", bus);
+            ahb::TrafficMaster m1(
+                &top, "m1", bus,
+                {.addr_base = 0x0000, .addr_range = 0x1000, .seed = 1});
+            ahb::TrafficMaster m2(
+                &top, "m2", bus,
+                {.addr_base = 0x1000, .addr_range = 0x1000, .seed = 2});
 
-  ahb::DefaultMaster dm(&top, "dm", bus);
-  ahb::TrafficMaster m1(&top, "m1", bus,
-                        {.addr_base = 0x0000, .addr_range = 0x1000, .seed = 1});
-  ahb::TrafficMaster m2(&top, "m2", bus,
-                        {.addr_base = 0x1000, .addr_range = 0x1000, .seed = 2});
+            std::vector<std::unique_ptr<ahb::MemorySlave>> slaves;
+            for (unsigned s = 0; s < n_slaves; ++s) {
+              slaves.push_back(std::make_unique<ahb::MemorySlave>(
+                  &top, "s" + std::to_string(s), bus,
+                  ahb::MemorySlave::Config{.base = 0x1000u * s,
+                                           .size = 0x1000,
+                                           .wait_states = wait_states}));
+            }
+            bus.finalize();
+            ahb::BusMonitor mon(&top, "mon", bus);
+            power::AhbPowerEstimator est(&top, "power", bus);
 
-  std::vector<std::unique_ptr<ahb::MemorySlave>> slaves;
-  for (unsigned s = 0; s < n_slaves; ++s) {
-    slaves.push_back(std::make_unique<ahb::MemorySlave>(
-        &top, "s" + std::to_string(s), bus,
-        ahb::MemorySlave::Config{.base = 0x1000u * s,
-                                 .size = 0x1000,
-                                 .wait_states = wait_states}));
-  }
-  bus.finalize();
-  ahb::BusMonitor mon(&top, "mon", bus);
-  power::AhbPowerEstimator est(&top, "power", bus);
+            kernel.run(sim::SimTime::us(50));
 
-  kernel.run(sim::SimTime::us(50));
-
-  RunResult r;
-  r.transfers = mon.stats().transfers;
-  r.handovers = mon.stats().handovers;
-  r.energy = est.total_energy();
-  r.energy_per_transfer =
-      r.transfers > 0 ? r.energy / static_cast<double>(r.transfers) : 0.0;
-  return r;
+            campaign::PowerReport r;
+            r.total_energy = est.total_energy();
+            r.blocks = est.block_totals();
+            r.cycles = est.fsm().cycles();
+            r.transfers = mon.stats().transfers;
+            r.metrics["handovers"] = static_cast<double>(mon.stats().handovers);
+            return r;
+          }};
 }
 
 const char* policy_name(ahb::ArbitrationPolicy p) {
@@ -72,28 +74,49 @@ const char* policy_name(ahb::ArbitrationPolicy p) {
 }  // namespace
 
 int main() {
-  std::puts("=== Architecture exploration: power/performance/area per configuration ===");
-  std::puts("workload: 2 traffic masters, 50 us @ 100 MHz\n");
-  std::printf("%-16s %6s %7s | %10s %10s %14s %16s %12s\n", "policy", "waits",
-              "slaves", "transfers", "handovers", "total energy",
-              "energy/transfer", "area (GE)");
-
+  // Enumerate the configuration grid, fan it across cores, then render
+  // the table in grid order (outcomes come back ordered by spec index).
+  struct Cfg {
+    ahb::ArbitrationPolicy policy;
+    unsigned waits;
+    unsigned n_slaves;
+  };
+  std::vector<Cfg> grid;
+  std::vector<campaign::RunSpec> specs;
   for (const auto policy : {ahb::ArbitrationPolicy::kFixedPriority,
                             ahb::ArbitrationPolicy::kRoundRobin}) {
     for (const unsigned waits : {0u, 1u, 3u}) {
       for (const unsigned n_slaves : {2u, 3u, 6u}) {
-        const RunResult r = run_config(policy, waits, n_slaves);
-        // The cost axis: NAND2-equivalent fabric area (3 masters incl.
-        // the default master; +1 slave for the built-in default slave).
-        const double area = gate::estimate_ahb_area(3, n_slaves + 1).total();
-        std::printf("%-16s %6u %7u | %10llu %10llu %14s %16s %12.0f\n",
-                    policy_name(policy), waits, n_slaves,
-                    static_cast<unsigned long long>(r.transfers),
-                    static_cast<unsigned long long>(r.handovers),
-                    power::format_energy(r.energy).c_str(),
-                    power::format_energy(r.energy_per_transfer).c_str(), area);
+        grid.push_back({policy, waits, n_slaves});
+        specs.push_back(config_spec(policy, waits, n_slaves));
       }
     }
+  }
+  const campaign::Campaign pool;
+  const auto outcomes = pool.run(specs);
+
+  std::puts("=== Architecture exploration: power/performance/area per configuration ===");
+  std::printf("workload: 2 traffic masters, 50 us @ 100 MHz (%zu configs on %u threads)\n\n",
+              grid.size(), pool.threads());
+  std::printf("%-16s %6s %7s | %10s %10s %14s %16s %12s\n", "policy", "waits",
+              "slaves", "transfers", "handovers", "total energy",
+              "energy/transfer", "area (GE)");
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Cfg& c = grid[i];
+    const campaign::PowerReport& r = outcomes[i].report;
+    const double e_per_t = r.transfers > 0
+                               ? r.total_energy / static_cast<double>(r.transfers)
+                               : 0.0;
+    // The cost axis: NAND2-equivalent fabric area (3 masters incl.
+    // the default master; +1 slave for the built-in default slave).
+    const double area = gate::estimate_ahb_area(3, c.n_slaves + 1).total();
+    std::printf("%-16s %6u %7u | %10llu %10llu %14s %16s %12.0f\n",
+                policy_name(c.policy), c.waits, c.n_slaves,
+                static_cast<unsigned long long>(r.transfers),
+                static_cast<unsigned long long>(r.metrics.at("handovers")),
+                power::format_energy(r.total_energy).c_str(),
+                power::format_energy(e_per_t).c_str(), area);
   }
 
   std::puts("\nreading the table:");

@@ -33,19 +33,29 @@ ApbPowerMonitor::ApbPowerMonitor(sim::Module* parent, std::string name,
       model_(bridge.n_peripherals() == 0 ? 1 : bridge.n_peripherals(), tech),
       proc_(this, "sample", [this] { on_cycle(); }) {
   proc_.sensitive(bridge.clock().negedge_event()).dont_initialize();
+  bind_channels();
+}
+
+void ApbPowerMonitor::bind_channels() {
+  ch_paddr_ = &activity_.channel("paddr");
+  ch_pwdata_ = &activity_.channel("pwdata");
+  ch_strobes_ = &activity_.channel("strobes");
+  ch_prdata_.clear();
+  ch_prdata_.reserve(bridge_.n_peripherals());
+  for (unsigned s = 0; s < bridge_.n_peripherals(); ++s) {
+    ch_prdata_.push_back(&activity_.channel("prdata" + std::to_string(s)));
+  }
 }
 
 void ApbPowerMonitor::on_cycle() {
   ++cycles_;
   const ApbMasterSignals& m = bridge_.apb();
-  const unsigned hd_addr = activity_.channel("paddr").store_activity(m.paddr.read());
-  const unsigned hd_wdata =
-      activity_.channel("pwdata").store_activity(m.pwdata.read());
+  const unsigned hd_addr = ch_paddr_->store_activity(m.paddr.read());
+  const unsigned hd_wdata = ch_pwdata_->store_activity(m.pwdata.read());
   // PRDATA switching, per peripheral driver.
   unsigned hd_rdata = 0;
   for (unsigned s = 0; s < bridge_.n_peripherals(); ++s) {
-    hd_rdata += activity_.channel("prdata" + std::to_string(s))
-                    .store_activity(bridge_.peripheral(s).prdata.read());
+    hd_rdata += ch_prdata_[s]->store_activity(bridge_.peripheral(s).prdata.read());
   }
   // Strobe bundle: PENABLE, PWRITE and the PSEL lines.
   std::uint64_t strobes = m.penable.read() ? 1u : 0u;
@@ -53,8 +63,7 @@ void ApbPowerMonitor::on_cycle() {
   for (unsigned s = 0; s < bridge_.n_peripherals(); ++s) {
     strobes |= (bridge_.psel(s).read() ? 1ull : 0ull) << (2 + s);
   }
-  const unsigned hd_strobes =
-      activity_.channel("strobes").store_activity(strobes);
+  const unsigned hd_strobes = ch_strobes_->store_activity(strobes);
   energy_ += model_.energy(hd_addr + hd_wdata + hd_rdata, hd_strobes);
 }
 

@@ -8,6 +8,7 @@
 // term for PSEL/PENABLE.
 
 #include <cstdint>
+#include <vector>
 
 #include "apb/bridge.hpp"
 #include "gate/tech.hpp"
@@ -55,10 +56,18 @@ public:
 
 private:
   void on_cycle();
+  void bind_channels();
 
   AhbToApbBridge& bridge_;
   ApbPowerModel model_;
   power::Activity activity_;
+  /// Hot-path cache: channel handles resolved once at construction
+  /// (pointer-stable in Activity's unordered_map), so on_cycle() never
+  /// builds a channel-name string. Mirrors PowerFsm::bind_channels().
+  power::ActivityChannel* ch_paddr_ = nullptr;
+  power::ActivityChannel* ch_pwdata_ = nullptr;
+  power::ActivityChannel* ch_strobes_ = nullptr;
+  std::vector<power::ActivityChannel*> ch_prdata_;
   double energy_ = 0.0;
   std::uint64_t cycles_ = 0;
   sim::Method proc_;

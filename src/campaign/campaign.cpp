@@ -1,0 +1,78 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+namespace ahbp::campaign {
+
+namespace {
+
+/// Executes spec `i` into its pre-allocated outcome slot. Runs on a
+/// pool thread; everything it touches is private to the slot.
+void execute(const RunSpec& spec, std::size_t i, RunOutcome& out) {
+  out.index = i;
+  out.name = spec.name;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    out.report = spec.run();
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  } catch (...) {
+    out.ok = false;
+    out.error = "unknown exception";
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+Campaign::Campaign(Config cfg)
+    : threads_(cfg.threads != 0 ? cfg.threads : hardware_threads()) {}
+
+unsigned Campaign::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs) const {
+  std::vector<RunOutcome> outcomes(specs.size());
+  if (specs.empty()) return outcomes;
+
+  if (threads_ <= 1 || specs.size() == 1) {
+    // Serial baseline: inline on the calling thread. Note the caller's
+    // own Kernel (if any) must not be alive -- each spec constructs one.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      execute(specs[i], i, outcomes[i]);
+    }
+    return outcomes;
+  }
+
+  // Ticket scheduling: workers claim the next spec index until the
+  // counter runs past the end. Outcome slots are disjoint, so no
+  // synchronization beyond the counter is needed.
+  std::atomic<std::size_t> next{0};
+  const unsigned n_workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, specs.size()));
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(n_workers);
+    for (unsigned w = 0; w < n_workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= specs.size()) return;
+          execute(specs[i], i, outcomes[i]);
+        }
+      });
+    }
+  }  // jthread joins here; all slots are written before we return.
+  return outcomes;
+}
+
+}  // namespace ahbp::campaign

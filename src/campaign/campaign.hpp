@@ -1,0 +1,98 @@
+#pragma once
+// Multi-core simulation campaign runner.
+//
+// The paper's pay-off is scale: "in a small time it is possible to
+// evaluate hundreds of different configurations and architectures"
+// (Sec. 1). Every sweep in bench/ and examples/ runs dozens of
+// *independent* simulations, so they parallelize perfectly -- the
+// kernel is thread-hostable (one Kernel per thread, see
+// sim/kernel.hpp), and a Campaign fans RunSpecs across a fixed pool of
+// std::jthreads.
+//
+// Determinism contract: every spec builds, runs and tears down its
+// whole simulation inside its `run` callable on whatever pool thread
+// picks it up. Specs share nothing, per-run RNG is seeded from the
+// spec, and results are returned ordered by spec index -- so a
+// campaign's outcomes are bit-identical regardless of thread count or
+// completion order (same seeds => same joules).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "power/power_fsm.hpp"
+
+namespace ahbp::campaign {
+
+/// Per-run power/performance summary gathered from one simulation.
+///
+/// The fixed fields cover the quantities every sweep reports; `metrics`
+/// carries workload-specific extras (an ordered map so rendering a
+/// report iterates deterministically).
+struct PowerReport {
+  double total_energy = 0.0;       ///< [J]
+  power::BlockEnergy blocks;       ///< per-sub-block split (Fig. 6 view)
+  std::uint64_t cycles = 0;        ///< sampled bus cycles
+  std::uint64_t transfers = 0;     ///< completed transfers (0 if not tracked)
+  std::map<std::string, double> metrics;  ///< free-form extras
+};
+
+/// One unit of campaign work: a factory that builds, runs and
+/// summarizes a complete simulation on the calling thread.
+///
+/// The callable must construct its own sim::Kernel (and everything
+/// attached to it) inside the call -- never capture live simulation
+/// objects from another thread. Any RNG must be seeded from values
+/// captured by the spec so reruns are reproducible.
+struct RunSpec {
+  std::string name;
+  std::function<PowerReport()> run;
+};
+
+/// The result slot for one RunSpec, in submission order.
+struct RunOutcome {
+  std::size_t index = 0;  ///< position in the submitted spec vector
+  std::string name;
+  PowerReport report;     ///< valid only when ok
+  bool ok = false;
+  std::string error;      ///< exception text when !ok
+  double wall_seconds = 0.0;
+};
+
+/// A fixed thread pool that executes RunSpecs and gathers RunOutcomes.
+///
+/// Scheduling is a single atomic ticket counter (no work stealing, no
+/// queues): each worker claims the next unclaimed spec index until none
+/// remain. Each outcome is written to its own pre-allocated slot, so
+/// the result vector is ordered by spec index independent of completion
+/// order. threads() == 1 executes inline on the calling thread -- the
+/// serial baseline path.
+class Campaign {
+public:
+  struct Config {
+    /// Worker count; 0 = one per hardware thread.
+    unsigned threads = 0;
+  };
+
+  Campaign() : Campaign(Config{}) {}
+  explicit Campaign(Config cfg);
+
+  /// Resolved worker count (>= 1).
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  /// Runs every spec and returns outcomes ordered by spec index. A spec
+  /// that throws is captured in its outcome (ok = false); the campaign
+  /// itself always completes.
+  [[nodiscard]] std::vector<RunOutcome> run(const std::vector<RunSpec>& specs) const;
+
+  /// The machine's hardware concurrency (>= 1 even when unknown).
+  [[nodiscard]] static unsigned hardware_threads();
+
+private:
+  unsigned threads_ = 1;
+};
+
+}  // namespace ahbp::campaign

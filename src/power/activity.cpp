@@ -32,7 +32,7 @@ const ActivityChannel* Activity::find(const std::string& name) const {
 
 std::uint64_t Activity::bit_change_count() const {
   std::uint64_t total = 0;
-  for (const auto& [name, ch] : channels_) total += ch.bit_change_count();
+  for (const auto& kv : channels_) total += kv.second.bit_change_count();
   return total;
 }
 

@@ -9,8 +9,8 @@
 // "Masters signals activity storage / Slaves signals activity storage").
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 
 namespace ahbp::power {
 
@@ -63,23 +63,35 @@ private:
 };
 
 /// A named group of activity channels -- one per monitored bus signal.
+///
+/// Storage is an unordered_map for O(1) find(); per the standard,
+/// unordered_map references and pointers stay valid across inserts
+/// (only erase/clear invalidate), so monitors may cache the
+/// ActivityChannel* returned by channel() at construction time and hit
+/// it every sampled cycle without a string lookup -- the pattern
+/// PowerFsm::bind_channels() and ApbPowerMonitor use. Iteration order
+/// is unspecified; report formatters sort names before rendering.
 class Activity {
 public:
-  /// Channel accessor; creates the channel on first use.
+  /// Channel accessor; creates the channel on first use. The returned
+  /// reference is stable for the channel's lifetime (until reset()).
   [[nodiscard]] ActivityChannel& channel(const std::string& name);
   [[nodiscard]] const ActivityChannel* find(const std::string& name) const;
 
   /// Sum of bit_change_count() over all channels.
   [[nodiscard]] std::uint64_t bit_change_count() const;
 
-  [[nodiscard]] const std::map<std::string, ActivityChannel>& channels() const {
+  [[nodiscard]] const std::unordered_map<std::string, ActivityChannel>& channels()
+      const {
     return channels_;
   }
 
+  /// Drops every channel. Invalidates all cached ActivityChannel
+  /// pointers -- callers holding handles must re-bind afterwards.
   void reset();
 
 private:
-  std::map<std::string, ActivityChannel> channels_;
+  std::unordered_map<std::string, ActivityChannel> channels_;
 };
 
 }  // namespace ahbp::power

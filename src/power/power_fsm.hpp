@@ -146,8 +146,9 @@ private:
   ArbiterFsmModel arb_model_;
 
   Activity activity_;
-  /// Hot-path cache: one pointer per monitored channel (node-stable in
-  /// the underlying std::map), avoiding string lookups every cycle.
+  /// Hot-path cache: one pointer per monitored channel (pointer-stable
+  /// in the underlying unordered_map -- see Activity), avoiding string
+  /// lookups every cycle.
   struct Channels {
     ActivityChannel* haddr;
     ActivityChannel* hcontrol;

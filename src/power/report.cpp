@@ -167,7 +167,15 @@ std::string format_activity_report(const Activity& activity) {
   std::ostringstream os;
   os << "Signal switching activity (instrumentation summary):\n";
   os << "  channel        samples     bit changes   mean HD   P(change)\n";
-  for (const auto& [name, ch] : activity.channels()) {
+  // Activity stores channels unordered; sort names so the report is
+  // deterministic across runs and platforms.
+  std::vector<const std::string*> names;
+  names.reserve(activity.channels().size());
+  for (const auto& kv : activity.channels()) names.push_back(&kv.first);
+  std::sort(names.begin(), names.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  for (const std::string* name : names) {
+    const ActivityChannel& ch = *activity.find(*name);
     const double p_change =
         ch.sample_count() > 1
             ? static_cast<double>(ch.nonzero_count()) /
@@ -175,7 +183,7 @@ std::string format_activity_report(const Activity& activity) {
             : 0.0;
     char line[128];
     std::snprintf(line, sizeof line, "  %-12s %9llu %15llu %9.3f %10.3f\n",
-                  name.c_str(),
+                  name->c_str(),
                   static_cast<unsigned long long>(ch.sample_count()),
                   static_cast<unsigned long long>(ch.bit_change_count()),
                   ch.mean_hd(), p_change);

@@ -10,11 +10,11 @@
 
 namespace ahbp::sim {
 
-Kernel* Kernel::current_ = nullptr;
+thread_local Kernel* Kernel::current_ = nullptr;
 
 Kernel::Kernel() {
   if (current_ != nullptr) {
-    throw SimError("only one Kernel may be alive at a time");
+    throw SimError("only one Kernel may be alive at a time per thread");
   }
   current_ = this;
 }
@@ -22,7 +22,7 @@ Kernel::Kernel() {
 Kernel::~Kernel() { current_ = nullptr; }
 
 Kernel& Kernel::current() {
-  if (current_ == nullptr) throw SimError("no Kernel is alive");
+  if (current_ == nullptr) throw SimError("no Kernel is alive on this thread");
   return *current_;
 }
 
@@ -80,15 +80,17 @@ void Kernel::do_delta() {
 
   // --- update -----------------------------------------------------------
   // Applying a signal's new value may queue its value-changed event as a
-  // delta notification (handled below).
-  std::vector<SignalBase*> updates;
-  updates.swap(update_queue_);
-  for (SignalBase* s : updates) s->apply_update();
+  // delta notification (handled below). The queue is swapped into a
+  // member scratch buffer so both vectors keep their capacity across
+  // deltas -- this loop runs every simulated cycle.
+  update_scratch_.clear();
+  update_scratch_.swap(update_queue_);
+  for (SignalBase* s : update_scratch_) s->apply_update();
 
   // --- delta notification ------------------------------------------------
-  std::vector<Event*> deltas;
-  deltas.swap(delta_queue_);
-  for (Event* e : deltas) {
+  delta_scratch_.clear();
+  delta_scratch_.swap(delta_queue_);
+  for (Event* e : delta_scratch_) {
     if (e->pending_ != Event::Pending::kDelta) continue;  // cancelled
     e->pending_ = Event::Pending::kNone;
     e->trigger();

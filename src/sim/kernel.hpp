@@ -11,8 +11,12 @@
 //   4. advance  : when no process is runnable, jump to the earliest timed
 //                 notification and trigger it
 //
-// One Kernel instance is alive at a time (enforced); top-level objects
-// attach to Kernel::current().
+// One Kernel instance is alive *per thread* (enforced); top-level objects
+// attach to Kernel::current(), which is thread-local. Independent
+// simulations may therefore run concurrently, one kernel per
+// std::jthread -- the contract the campaign runner (src/campaign/)
+// builds on. A single Kernel and the objects attached to it must only
+// ever be touched from the thread that constructed it.
 
 #include <cstdint>
 #include <functional>
@@ -36,7 +40,8 @@ public:
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
-  /// The kernel top-level objects attach to. Fatal if none is alive.
+  /// The kernel top-level objects attach to. Fatal if none is alive on
+  /// the calling thread.
   [[nodiscard]] static Kernel& current();
   /// Nullptr-safe variant of current().
   [[nodiscard]] static Kernel* current_or_null();
@@ -110,7 +115,12 @@ private:
   std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<>> timed_queue_;
   std::vector<std::function<void()>> timestep_callbacks_;
 
-  static Kernel* current_;
+  /// Scratch buffers swapped with update_queue_/delta_queue_ each delta
+  /// so the hot loop reuses capacity instead of allocating per cycle.
+  std::vector<SignalBase*> update_scratch_;
+  std::vector<Event*> delta_scratch_;
+
+  static thread_local Kernel* current_;
 };
 
 }  // namespace ahbp::sim

@@ -4,8 +4,8 @@
 
 namespace ahbp::sim {
 
-Reporter::Counts Reporter::counts_;
-Severity Reporter::min_printed_ = Severity::kWarning;
+thread_local Reporter::Counts Reporter::counts_;
+thread_local Severity Reporter::min_printed_ = Severity::kWarning;
 
 std::string_view to_string(Severity s) {
   switch (s) {

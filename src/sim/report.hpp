@@ -24,12 +24,15 @@ enum class Severity { kInfo, kWarning, kError, kFatal };
 
 [[nodiscard]] std::string_view to_string(Severity s);
 
-/// Global reporting configuration and counters.
+/// Reporting configuration and counters (thread-local, like the kernel).
 ///
 /// Reporter is intentionally tiny: `report()` prints to stderr for
 /// warnings/errors (stdout for info), bumps a per-severity counter, and
 /// throws SimError for kError and kFatal. Tests use `counts()` to check
 /// that a scenario warned, and `set_verbosity` to silence info chatter.
+/// Counters and verbosity are thread-local so concurrently hosted
+/// kernels (one per thread -- see sim/kernel.hpp) never race: each
+/// simulation observes exactly the reports its own thread produced.
 class Reporter {
 public:
   struct Counts {
@@ -50,8 +53,8 @@ public:
   static void set_verbosity(Severity min_printed);
 
 private:
-  static Counts counts_;
-  static Severity min_printed_;
+  static thread_local Counts counts_;
+  static thread_local Severity min_printed_;
 };
 
 /// Convenience helpers used throughout the library.

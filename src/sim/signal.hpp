@@ -58,14 +58,13 @@ public:
   [[nodiscard]] const T& read() const { return current_; }
 
   /// Buffers `v` to become the current value in the next update phase.
+  ///
+  /// A later write in the same evaluation phase may restore the current
+  /// value; the already-queued update then finds next_ == current_ in
+  /// apply_update() and degrades to a no-op (no event fires).
   void write(const T& v) {
     next_ = v;
-    if (next_ != current_) {
-      request_update();
-    } else if (update_requested_) {
-      // A later write in the same evaluation phase restored the old
-      // value; the queued update will now be a no-op, which is fine.
-    }
+    if (next_ != current_) request_update();
   }
 
   /// Fires one delta after any update that changes the value.

@@ -1,0 +1,126 @@
+// Campaign runner: deterministic result ordering, parallel-vs-serial
+// bit-identical power reports, and per-run error capture.
+
+#include "campaign/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ahb/ahb.hpp"
+#include "power/power.hpp"
+#include "sim/sim.hpp"
+
+namespace ahbp::campaign {
+namespace {
+
+/// A complete small AHB simulation as a spec: one traffic master, two
+/// slaves, a power estimator; the whole system lives and dies on the
+/// executing thread. Seeded, so identical per rerun.
+RunSpec ahb_spec(std::uint64_t seed, unsigned wait_states) {
+  return {"ahb/s" + std::to_string(seed), [seed, wait_states] {
+            sim::Kernel kernel;
+            sim::Module top(nullptr, "top");
+            sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5,
+                           sim::SimTime::ns(10));
+            ahb::AhbBus bus(&top, "ahb", clk, {});
+            ahb::DefaultMaster dm(&top, "dm", bus);
+            ahb::TrafficMaster m1(
+                &top, "m1", bus,
+                {.addr_base = 0x0000, .addr_range = 0x2000, .seed = seed});
+            ahb::MemorySlave s1(&top, "s1", bus,
+                                {.base = 0x0000,
+                                 .size = 0x1000,
+                                 .wait_states = wait_states});
+            ahb::MemorySlave s2(&top, "s2", bus,
+                                {.base = 0x1000,
+                                 .size = 0x1000,
+                                 .wait_states = wait_states});
+            bus.finalize();
+            power::AhbPowerEstimator est(&top, "power", bus);
+            kernel.run(sim::SimTime::us(5));
+
+            PowerReport r;
+            r.total_energy = est.total_energy();
+            r.blocks = est.block_totals();
+            r.cycles = est.fsm().cycles();
+            return r;
+          }};
+}
+
+std::vector<RunSpec> sample_specs() {
+  std::vector<RunSpec> specs;
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u, 55u, 66u}) {
+    specs.push_back(ahb_spec(seed, seed % 3));
+  }
+  return specs;
+}
+
+TEST(Campaign, OutcomesOrderedBySpecIndex) {
+  const auto specs = sample_specs();
+  const Campaign pool(Campaign::Config{.threads = 4});
+  const auto outcomes = pool.run(specs);
+  ASSERT_EQ(outcomes.size(), specs.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].index, i);
+    EXPECT_EQ(outcomes[i].name, specs[i].name);
+    EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    EXPECT_GT(outcomes[i].report.cycles, 0u);
+    EXPECT_GT(outcomes[i].report.total_energy, 0.0);
+  }
+}
+
+TEST(Campaign, ParallelIsBitIdenticalToSerial) {
+  const auto specs = sample_specs();
+  const Campaign serial(Campaign::Config{.threads = 1});
+  const Campaign parallel(Campaign::Config{.threads = 4});
+  const auto a = serial.run(specs);
+  const auto b = parallel.run(specs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Same seeds => same joules, bit for bit.
+    EXPECT_EQ(std::memcmp(&a[i].report.total_energy, &b[i].report.total_energy,
+                          sizeof(double)),
+              0)
+        << "run " << i << ": " << a[i].report.total_energy << " vs "
+        << b[i].report.total_energy;
+    EXPECT_EQ(a[i].report.cycles, b[i].report.cycles);
+    EXPECT_EQ(std::memcmp(&a[i].report.blocks.arb, &b[i].report.blocks.arb,
+                          sizeof(double)),
+              0);
+  }
+}
+
+TEST(Campaign, ThrowingSpecIsCapturedOthersComplete) {
+  std::vector<RunSpec> specs;
+  specs.push_back(ahb_spec(7, 0));
+  specs.push_back({"boom", []() -> PowerReport {
+                     throw std::runtime_error("intentional failure");
+                   }});
+  specs.push_back(ahb_spec(9, 1));
+  const Campaign pool(Campaign::Config{.threads = 2});
+  const auto outcomes = pool.run(specs);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[1].error, "intentional failure");
+  EXPECT_TRUE(outcomes[2].ok);
+}
+
+TEST(Campaign, EmptySpecListYieldsEmptyOutcomes) {
+  const Campaign pool;
+  EXPECT_TRUE(pool.run({}).empty());
+}
+
+TEST(Campaign, ThreadConfigResolution) {
+  EXPECT_GE(Campaign::hardware_threads(), 1u);
+  EXPECT_GE(Campaign().threads(), 1u);
+  EXPECT_EQ(Campaign(Campaign::Config{.threads = 3}).threads(), 3u);
+}
+
+}  // namespace
+}  // namespace ahbp::campaign

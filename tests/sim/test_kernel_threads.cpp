@@ -1,0 +1,142 @@
+// Kernel thread-hosting: one Kernel per thread is legal (current_ is
+// thread-local), concurrent independent simulations reproduce their
+// serial results exactly, and the one-kernel-per-thread limit still
+// holds within a thread.
+
+#include "sim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <latch>
+#include <thread>
+#include <vector>
+
+namespace ahbp::sim {
+namespace {
+
+/// A small self-contained simulation: a signal driven through a timed
+/// event chain for `rounds` steps of `step` each; returns the observed
+/// (time, value) pairs plus the executed delta count. Everything lives
+/// on the calling thread's kernel.
+struct ChainResult {
+  std::vector<SimTime> times;
+  std::vector<int> values;
+  std::uint64_t deltas = 0;
+
+  bool operator==(const ChainResult&) const = default;
+};
+
+ChainResult run_chain(unsigned rounds, SimTime step) {
+  Kernel k;
+  Module top(nullptr, "top");
+  Event tick(&top, "tick");
+  Signal<int> sig(&top, "sig", 0);
+  ChainResult r;
+  unsigned n = 0;
+  Method driver(&top, "driver", [&] {
+    sig.write(sig.read() + 3);
+    if (++n < rounds) tick.notify(step);
+  });
+  driver.sensitive(tick).dont_initialize();
+  Method observer(&top, "observer", [&] {
+    r.times.push_back(k.now());
+    r.values.push_back(sig.read());
+  });
+  observer.sensitive(sig.value_changed_event()).dont_initialize();
+  tick.notify(step);
+  k.run();
+  r.deltas = k.delta_count();
+  return r;
+}
+
+TEST(KernelThreads, TwoKernelsOnTwoThreadsMatchSerialRuns) {
+  // Serial references, one kernel at a time on this thread.
+  const ChainResult serial_a = run_chain(40, SimTime::ns(7));
+  const ChainResult serial_b = run_chain(25, SimTime::ns(13));
+
+  // The same two simulations, concurrently on two jthreads. The latch
+  // makes both threads construct their kernels before either runs, so
+  // two kernels are demonstrably alive at once.
+  ChainResult par_a, par_b;
+  std::latch both_started{2};
+  {
+    std::jthread ta([&] {
+      Kernel k;  // thread-hosted kernel #1
+      both_started.arrive_and_wait();
+      // run_chain builds its own kernel: destroy ours first.
+      // (Scoped to prove construction succeeded while #2 is alive.)
+    });
+    std::jthread tb([&] {
+      Kernel k;  // thread-hosted kernel #2
+      both_started.arrive_and_wait();
+    });
+  }
+
+  std::latch gate{2};
+  {
+    std::jthread ta([&] {
+      gate.arrive_and_wait();
+      par_a = run_chain(40, SimTime::ns(7));
+    });
+    std::jthread tb([&] {
+      gate.arrive_and_wait();
+      par_b = run_chain(25, SimTime::ns(13));
+    });
+  }
+
+  EXPECT_EQ(par_a, serial_a);
+  EXPECT_EQ(par_b, serial_b);
+  ASSERT_EQ(par_a.values.size(), 40u);
+  EXPECT_EQ(par_a.values.back(), 120);
+  ASSERT_EQ(par_b.values.size(), 25u);
+  EXPECT_EQ(par_b.values.back(), 75);
+}
+
+TEST(KernelThreads, SecondKernelOnSameThreadStillThrows) {
+  bool threw_on_worker = false;
+  std::jthread t([&] {
+    Kernel k;
+    try {
+      Kernel second;  // same thread: must throw
+    } catch (const SimError&) {
+      threw_on_worker = true;
+    }
+  });
+  t.join();
+  EXPECT_TRUE(threw_on_worker);
+}
+
+TEST(KernelThreads, CurrentIsThreadLocal) {
+  Kernel main_kernel;
+  EXPECT_EQ(&Kernel::current(), &main_kernel);
+
+  Kernel* seen_before = reinterpret_cast<Kernel*>(1);
+  Kernel* worker_kernel = nullptr;
+  std::jthread t([&] {
+    seen_before = Kernel::current_or_null();  // fresh thread: none alive
+    Kernel k;
+    worker_kernel = &Kernel::current();
+  });
+  t.join();
+  EXPECT_EQ(seen_before, nullptr);
+  EXPECT_NE(worker_kernel, nullptr);
+  EXPECT_NE(worker_kernel, &main_kernel);
+  // The worker's kernel never disturbed this thread's slot.
+  EXPECT_EQ(&Kernel::current(), &main_kernel);
+}
+
+TEST(KernelThreads, ReporterCountersAreThreadLocal) {
+  Reporter::reset_counts();
+  Reporter::set_verbosity(Severity::kFatal);
+  std::jthread t([] {
+    Reporter::set_verbosity(Severity::kFatal);
+    Reporter::report(Severity::kWarning, "T", "worker-side warning");
+    EXPECT_EQ(Reporter::counts().warning, 1u);
+  });
+  t.join();
+  EXPECT_EQ(Reporter::counts().warning, 0u);  // untouched on this thread
+  Reporter::set_verbosity(Severity::kWarning);
+}
+
+}  // namespace
+}  // namespace ahbp::sim

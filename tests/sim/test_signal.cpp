@@ -85,6 +85,31 @@ TEST(Signal, WriteThenRestoreIsNoEvent) {
   EXPECT_EQ(s.read(), 5);
 }
 
+TEST(Signal, WriteThenRestoreLeavesUpdateMachineryClean) {
+  // Regression for the write-then-restore path: the queued update
+  // degrades to a no-op in apply_update(), and the signal must then
+  // behave normally -- a real change in a later evaluation phase of the
+  // same timestep still fires exactly one event.
+  Kernel k;
+  Module top(nullptr, "top");
+  Signal<int> s(&top, "s", 5);
+  Event again(&top, "again");
+  int changes = 0;
+  Method obs(&top, "obs", [&] { ++changes; });
+  obs.sensitive(s.value_changed_event()).dont_initialize();
+  Method writer(&top, "w", [&] {
+    s.write(9);
+    s.write(5);  // restore: queued update becomes a no-op
+    again.notify_delta();
+  });
+  Method second(&top, "w2", [&] { s.write(6); });  // later delta, same time
+  second.sensitive(again).dont_initialize();
+  k.run();
+  EXPECT_EQ(changes, 1);  // only the real 5 -> 6 change fired
+  EXPECT_EQ(s.read(), 6);
+  EXPECT_EQ(k.now(), SimTime::zero());
+}
+
 TEST(Signal, PosedgeAndNegedgeEvents) {
   Kernel k;
   Module top(nullptr, "top");

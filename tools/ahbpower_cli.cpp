@@ -15,6 +15,9 @@
 //     --csv FILE        write the power trace as CSV (needs --window)
 //     --trace-out FILE  record the transaction trace to FILE
 //     --quiet           only the one-line summary
+//     --sweep           campaign mode: sweep policy x waits on a
+//                       multi-core pool, print one row per config
+//     --jobs N          worker threads for --sweep (0 = all cores)
 //
 // Exit code 0 on success, 2 on bad usage.
 
@@ -27,6 +30,7 @@
 #include <vector>
 
 #include "ahb/ahb.hpp"
+#include "campaign/campaign.hpp"
 #include "power/power.hpp"
 #include "sim/sim.hpp"
 
@@ -47,6 +51,8 @@ struct Options {
   bool attribution = false;
   bool activity = false;
   bool quiet = false;
+  bool sweep = false;
+  unsigned jobs = 0;
   std::string csv;
   std::string trace_out;
 };
@@ -56,7 +62,8 @@ struct Options {
                "usage: %s [--cycles N] [--masters N] [--slaves N] [--waits N]\n"
                "          [--policy fixed|rr] [--seed N] [--window NS]\n"
                "          [--table] [--breakdown] [--attribution] [--activity]\n"
-               "          [--csv FILE] [--trace-out FILE] [--quiet]\n",
+               "          [--csv FILE] [--trace-out FILE] [--quiet]\n"
+               "          [--sweep] [--jobs N]\n",
                argv0);
   std::exit(2);
 }
@@ -104,6 +111,10 @@ Options parse(int argc, char** argv) {
       o.trace_out = need_value(i);
     } else if (a == "--quiet") {
       o.quiet = true;
+    } else if (a == "--sweep") {
+      o.sweep = true;
+    } else if (a == "--jobs") {
+      o.jobs = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 0));
     } else {
       usage(argv[0]);
     }
@@ -118,10 +129,100 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
+/// One --sweep configuration as a campaign spec: the CLI topology with
+/// a given arbitration policy and wait-state count, run for o.cycles.
+campaign::RunSpec sweep_spec(const Options& o, ahb::ArbitrationPolicy policy,
+                             unsigned waits) {
+  Options run = o;
+  run.policy = policy;
+  run.waits = waits;
+  const std::string name =
+      std::string(policy == ahb::ArbitrationPolicy::kFixedPriority ? "fixed"
+                                                                   : "rr") +
+      "/w" + std::to_string(waits);
+  return {name, [run] {
+            sim::Kernel kernel;
+            sim::Module top(nullptr, "top");
+            sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5,
+                           sim::SimTime::ns(10));
+            ahb::AhbBus bus(&top, "ahb", clk,
+                            ahb::AhbBus::Config{.policy = run.policy});
+            ahb::DefaultMaster dm(&top, "default_master", bus);
+            std::vector<std::unique_ptr<ahb::TrafficMaster>> masters;
+            for (unsigned m = 0; m < run.masters; ++m) {
+              masters.push_back(std::make_unique<ahb::TrafficMaster>(
+                  &top, "m" + std::to_string(m + 1), bus,
+                  ahb::TrafficMaster::Config{
+                      .addr_base = 0x1000u * (m % run.slaves),
+                      .addr_range = 0x1000,
+                      .seed = run.seed + 97 * m,
+                  }));
+            }
+            std::vector<std::unique_ptr<ahb::MemorySlave>> slaves;
+            for (unsigned s = 0; s < run.slaves; ++s) {
+              slaves.push_back(std::make_unique<ahb::MemorySlave>(
+                  &top, "s" + std::to_string(s + 1), bus,
+                  ahb::MemorySlave::Config{.base = 0x1000u * s,
+                                           .size = 0x1000,
+                                           .wait_states = run.waits}));
+            }
+            bus.finalize();
+            ahb::BusMonitor mon(&top, "monitor", bus,
+                                ahb::BusMonitor::Config{.fatal = false});
+            power::AhbPowerEstimator est(&top, "power", bus);
+            kernel.run(sim::SimTime::ns(10) *
+                       static_cast<std::int64_t>(run.cycles));
+
+            campaign::PowerReport r;
+            r.total_energy = est.total_energy();
+            r.blocks = est.block_totals();
+            r.cycles = est.fsm().cycles();
+            r.transfers = mon.stats().transfers;
+            r.metrics["data_share"] = power::data_transfer_share(est.fsm());
+            r.metrics["arb_share"] = power::arbitration_share(est.fsm());
+            return r;
+          }};
+}
+
+int run_sweep(const Options& o) {
+  std::vector<campaign::RunSpec> specs;
+  for (const auto policy : {ahb::ArbitrationPolicy::kFixedPriority,
+                            ahb::ArbitrationPolicy::kRoundRobin}) {
+    for (const unsigned waits : {0u, 1u, 3u}) {
+      specs.push_back(sweep_spec(o, policy, waits));
+    }
+  }
+  const campaign::Campaign pool(campaign::Campaign::Config{.threads = o.jobs});
+  const auto outcomes = pool.run(specs);
+
+  std::printf("ahbpower sweep: %zu configs, %llu cycles each, %u threads\n",
+              specs.size(), static_cast<unsigned long long>(o.cycles),
+              pool.threads());
+  std::printf("%-10s | %10s %10s %14s %10s %9s\n", "config", "cycles",
+              "transfers", "total energy", "data %", "arb %");
+  int rc = 0;
+  for (const auto& out : outcomes) {
+    if (!out.ok) {
+      std::printf("%-10s | failed: %s\n", out.name.c_str(), out.error.c_str());
+      rc = 1;
+      continue;
+    }
+    const campaign::PowerReport& r = out.report;
+    std::printf("%-10s | %10llu %10llu %14s %9.1f%% %8.1f%%\n", out.name.c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.transfers),
+                power::format_energy(r.total_energy).c_str(),
+                100.0 * r.metrics.at("data_share"),
+                100.0 * r.metrics.at("arb_share"));
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (o.sweep) return run_sweep(o);
 
   sim::Kernel kernel;
   sim::Module top(nullptr, "top");
