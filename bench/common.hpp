@@ -12,6 +12,7 @@
 #include "campaign/campaign.hpp"
 #include "power/power.hpp"
 #include "sim/sim.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ahbp::bench {
 
@@ -24,6 +25,10 @@ struct PaperSystem {
     bool power_enabled = true;
     std::uint64_t seed1 = 101;
     std::uint64_t seed2 = 202;
+    /// Windowed power sampling granularity (0 = telemetry off).
+    std::uint64_t telemetry_window_cycles = 0;
+    /// Hot-path metrics sink (nullptr = no metrics).
+    telemetry::MetricsRegistry* metrics = nullptr;
   };
 
   PaperSystem() : PaperSystem(Options{}) {}
@@ -47,7 +52,10 @@ struct PaperSystem {
     if (opt.power_enabled) {
       est = std::make_unique<power::AhbPowerEstimator>(
           &top, "power", bus,
-          power::AhbPowerEstimator::Config{.trace_window = opt.trace_window});
+          power::AhbPowerEstimator::Config{
+              .trace_window = opt.trace_window,
+              .telemetry_window_cycles = opt.telemetry_window_cycles,
+              .metrics = opt.metrics});
     }
   }
 

@@ -1,0 +1,77 @@
+#include "campaign/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "telemetry/exporters.hpp"
+
+namespace ahbp::campaign {
+
+using telemetry::json_escape;
+using telemetry::json_number;
+
+void write_campaign_json(std::ostream& os,
+                         const std::vector<RunOutcome>& outcomes,
+                         const CampaignReportMeta& meta) {
+  std::size_t failed = 0;
+  double sum = 0.0;
+  double min_e = 0.0;
+  double max_e = 0.0;
+  bool any_ok = false;
+  for (const RunOutcome& o : outcomes) {
+    if (!o.ok) {
+      ++failed;
+      continue;
+    }
+    const double e = o.report.total_energy;
+    if (!any_ok) {
+      min_e = max_e = e;
+      any_ok = true;
+    } else {
+      min_e = std::min(min_e, e);
+      max_e = std::max(max_e, e);
+    }
+    sum += e;
+  }
+
+  os << "{\n";
+  os << "  \"schema\": \"ahbpower.campaign.v1\",\n";
+  os << "  \"name\": \"" << json_escape(meta.name) << "\",\n";
+  os << "  \"cycles\": " << meta.cycles << ",\n";
+  os << "  \"threads\": " << meta.threads << ",\n";
+  os << "  \"runs\": [";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const RunOutcome& o = outcomes[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"index\": " << o.index << ", \"name\": \""
+       << json_escape(o.name) << "\", \"ok\": " << (o.ok ? "true" : "false");
+    if (!o.ok) {
+      os << ", \"error\": \"" << json_escape(o.error) << "\"}";
+      continue;
+    }
+    const PowerReport& r = o.report;
+    os << ", \"cycles\": " << r.cycles << ", \"transfers\": " << r.transfers
+       << ", \"total_energy_j\": " << json_number(r.total_energy)
+       << ", \"blocks_j\": {\"arb\": " << json_number(r.blocks.arb)
+       << ", \"dec\": " << json_number(r.blocks.dec)
+       << ", \"m2s\": " << json_number(r.blocks.m2s)
+       << ", \"s2m\": " << json_number(r.blocks.s2m) << "}";
+    os << ", \"metrics\": {";
+    bool first = true;
+    for (const auto& [key, value] : r.metrics) {
+      if (!first) os << ", ";
+      os << '"' << json_escape(key) << "\": " << json_number(value);
+      first = false;
+    }
+    os << "}}";
+  }
+  os << "\n  ],\n";
+  os << "  \"aggregate\": {\"runs\": " << outcomes.size()
+     << ", \"failed\": " << failed
+     << ", \"total_energy_j\": " << json_number(sum)
+     << ", \"min_energy_j\": " << json_number(min_e)
+     << ", \"max_energy_j\": " << json_number(max_e) << "}\n";
+  os << "}\n";
+}
+
+}  // namespace ahbp::campaign

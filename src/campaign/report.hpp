@@ -1,0 +1,35 @@
+#pragma once
+// Campaign-level observability: aggregate the outcomes of a sweep into
+// one machine-readable JSON report.
+//
+// The report is deterministic by construction -- runs appear in spec
+// order, per-run metric maps iterate in key order, and wall-clock
+// timings are excluded -- so two executions of the same campaign (any
+// thread count) produce byte-identical files. Structure is specified in
+// docs/OBSERVABILITY.md (schema "ahbpower.campaign.v1") and validated
+// in CI by tools/telemetry_validate.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace ahbp::campaign {
+
+/// Campaign-wide header fields for the JSON report.
+struct CampaignReportMeta {
+  std::string name = "campaign";  ///< campaign label
+  std::uint64_t cycles = 0;       ///< per-run simulated cycles (0 = varies)
+  unsigned threads = 1;           ///< pool width the campaign ran with
+};
+
+/// Writes the outcomes as one JSON document: header, one object per run
+/// (index, name, ok, cycles, transfers, energies, free-form metrics)
+/// and an aggregate block (run/failure counts, energy sum / min / max
+/// over successful runs).
+void write_campaign_json(std::ostream& os,
+                         const std::vector<RunOutcome>& outcomes,
+                         const CampaignReportMeta& meta);
+
+}  // namespace ahbp::campaign

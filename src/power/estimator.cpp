@@ -28,6 +28,18 @@ AhbPowerEstimator::AhbPowerEstimator(sim::Module* parent, std::string name,
   if (cfg_.trace_window > sim::SimTime::zero()) {
     trace_ = std::make_unique<PowerTrace>(cfg_.trace_window);
   }
+  if (cfg_.telemetry_window_cycles > 0) {
+    windows_ = std::make_unique<telemetry::WindowSeries>(
+        telemetry::WindowSeries::Config{
+            .window_ticks = cfg_.telemetry_window_cycles,
+            .tracks = {"arb", "dec", "m2s", "s2m"}});
+    events_ = std::make_unique<telemetry::TraceEventLog>();
+  }
+  if (cfg_.metrics != nullptr) {
+    c_cycles_ = &cfg_.metrics->counter("ahb.power.sampled_cycles");
+    h_cycle_energy_ = &cfg_.metrics->histogram(
+        "ahb.power.cycle_energy_pj", {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0});
+  }
   // Sample at the falling edge: every value driven at the rising edge has
   // settled by mid-cycle, so one sample sees the whole cycle's state.
   proc_.sensitive(bus.clock().negedge_event()).dont_initialize();
@@ -62,10 +74,45 @@ void AhbPowerEstimator::on_cycle() {
   const CycleView v = sample_view();
   const PowerFsm::StepResult r = fsm_.step(v);
   if (trace_) trace_->record(kernel().now(), r.blocks);
+  if (windows_) {
+    const std::uint64_t cycle = fsm_.cycles() - 1;
+    windows_->record(cycle, {r.blocks.arb, r.blocks.dec, r.blocks.m2s,
+                             r.blocks.s2m});
+    if (!run_open_) {
+      run_mode_ = r.mode;
+      run_start_ = cycle;
+      run_open_ = true;
+    } else if (r.mode != run_mode_) {
+      events_->add_complete(to_string(run_mode_), "bus", run_start_,
+                            cycle - run_start_);
+      run_mode_ = r.mode;
+      run_start_ = cycle;
+    }
+  }
+  if (c_cycles_ != nullptr) {
+    c_cycles_->increment();
+    h_cycle_energy_->observe(r.blocks.total() * 1e12);
+  }
 }
 
 void AhbPowerEstimator::flush_trace() {
   if (trace_) trace_->flush();
+}
+
+void AhbPowerEstimator::flush_telemetry() {
+  flush_trace();
+  if (windows_) {
+    if (run_open_) {
+      events_->add_complete(to_string(run_mode_), "bus", run_start_,
+                            fsm_.cycles() - run_start_);
+      run_open_ = false;
+    }
+    windows_->flush();
+  }
+  if (cfg_.metrics != nullptr && !metrics_published_) {
+    fsm_.publish_metrics(*cfg_.metrics);
+    metrics_published_ = true;
+  }
 }
 
 sim::Clock& AhbPowerEstimator::bus_clock() const { return bus_.clock(); }

@@ -4,11 +4,19 @@
 //
 // A single monitor process is added beside the functional bus model; it
 // samples the settled bus signals once per cycle, feeds the power FSM,
-// and (optionally) builds a windowed power trace. The functional model is
-// untouched, and when disabled the monitor costs one virtual call per
+// and (optionally) builds windowed power telemetry. The functional model
+// is untouched, and when disabled the monitor costs one virtual call per
 // cycle -- the executable-specification equivalent of compiling without
 // the paper's POWERTEST define is simply not constructing the estimator.
+//
+// Observability: with `telemetry_window_cycles` set, every sampled cycle
+// publishes its per-block energy into a cycle-windowed
+// telemetry::WindowSeries and runs of identical bus modes become
+// duration events in a telemetry::TraceEventLog -- ready for the CSV /
+// JSON / Chrome trace_event exporters (docs/OBSERVABILITY.md). With
+// `metrics` set, hot-path counters land in the given MetricsRegistry.
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -17,6 +25,9 @@
 #include "power/trace.hpp"
 #include "sim/module.hpp"
 #include "sim/process.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/window.hpp"
 
 namespace ahbp::power {
 
@@ -27,8 +38,16 @@ public:
     gate::Technology tech = gate::Technology::default_2003();
     /// Runtime bypass: when false, sampling returns immediately.
     bool enabled = true;
-    /// Window for the power-versus-time trace; zero disables tracing.
+    /// Window for the legacy time-based power trace; zero disables it.
     sim::SimTime trace_window = sim::SimTime::zero();
+    /// Window (in sampled bus cycles) for the telemetry series and the
+    /// bus-instruction trace events; zero disables both.
+    std::uint64_t telemetry_window_cycles = 0;
+    /// Optional metrics registry (not owned; must outlive the
+    /// estimator). The estimator maintains `ahb.power.sampled_cycles`
+    /// and `ahb.power.cycle_energy_pj` live, and flush_telemetry()
+    /// publishes the FSM's end-of-run totals into it.
+    telemetry::MetricsRegistry* metrics = nullptr;
   };
 
   /// The bus must already be finalized.
@@ -41,11 +60,24 @@ public:
   [[nodiscard]] const PowerFsm& fsm() const { return fsm_; }
   [[nodiscard]] double total_energy() const { return fsm_.total_energy(); }
   [[nodiscard]] const BlockEnergy& block_totals() const { return fsm_.block_totals(); }
-  /// Nullptr when tracing is disabled.
+  /// Nullptr when the legacy time-based trace is disabled.
   [[nodiscard]] const PowerTrace* trace() const { return trace_.get(); }
+  /// Cycle-windowed per-block energy series (tracks arb/dec/m2s/s2m);
+  /// nullptr when telemetry_window_cycles is zero.
+  [[nodiscard]] const telemetry::WindowSeries* windows() const {
+    return windows_.get();
+  }
+  /// Bus-instruction duration events; nullptr when telemetry is off.
+  [[nodiscard]] const telemetry::TraceEventLog* trace_events() const {
+    return events_.get();
+  }
   /// Closes the trace's current window (call after the run, before
   /// reading the points).
   void flush_trace();
+  /// Closes the telemetry window and open mode run, and publishes the
+  /// FSM totals into the metrics registry (once per run). Also flushes
+  /// the legacy trace.
+  void flush_telemetry();
   ///@}
 
   void set_enabled(bool on) { cfg_.enabled = on; }
@@ -66,6 +98,15 @@ private:
   Config cfg_;
   PowerFsm fsm_;
   std::unique_ptr<PowerTrace> trace_;
+  std::unique_ptr<telemetry::WindowSeries> windows_;
+  std::unique_ptr<telemetry::TraceEventLog> events_;
+  /// Current run of consecutive same-mode cycles (one trace slice).
+  BusMode run_mode_ = BusMode::kIdle;
+  std::uint64_t run_start_ = 0;
+  bool run_open_ = false;
+  bool metrics_published_ = false;
+  telemetry::Counter* c_cycles_ = nullptr;
+  telemetry::Histogram* h_cycle_energy_ = nullptr;
   sim::Method proc_;
 };
 

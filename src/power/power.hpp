@@ -11,6 +11,10 @@
 //   GlobalPowerAnalyzer + probe    -- "global" analyzer-module style
 //   PowerTrace                     -- power-vs-time windows (Figs 3-5)
 //   report.hpp                     -- Table 1 / Fig 6 rendering
+//
+// Streaming observability (cycle-windowed series, trace events, metric
+// counters) lives in ahbp::telemetry and hooks in through
+// AhbPowerEstimator::Config -- see docs/OBSERVABILITY.md.
 
 #include "power/activity.hpp"
 #include "power/analytic.hpp"

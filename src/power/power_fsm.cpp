@@ -52,6 +52,31 @@ void PowerFsm::reset() {
   instr_.fill(InstrStats{});
 }
 
+void PowerFsm::publish_metrics(telemetry::MetricsRegistry& registry,
+                               const std::string& prefix) const {
+  auto lower = [](std::string s) {
+    for (char& c : s) {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    }
+    return s;
+  };
+  registry.counter(prefix + ".cycles").add(cycles_);
+  for (const auto& [name, st] : instructions()) {
+    const std::string base = prefix + ".instr." + lower(name);
+    registry.counter(base + ".count").add(st.count);
+    registry.gauge(base + ".energy_j").set(st.energy);
+  }
+  registry.gauge(prefix + ".energy.arb_j").set(blocks_.arb);
+  registry.gauge(prefix + ".energy.dec_j").set(blocks_.dec);
+  registry.gauge(prefix + ".energy.m2s_j").set(blocks_.m2s);
+  registry.gauge(prefix + ".energy.s2m_j").set(blocks_.s2m);
+  registry.gauge(prefix + ".energy.total_j").set(blocks_.total());
+  for (std::size_t m = 0; m < master_energy_.size(); ++m) {
+    registry.gauge(prefix + ".master." + std::to_string(m) + ".energy_j")
+        .set(master_energy_[m]);
+  }
+}
+
 std::map<std::string, PowerFsm::InstrStats> PowerFsm::instructions() const {
   std::map<std::string, InstrStats> out;
   for (unsigned from = 0; from < 4; ++from) {

@@ -18,6 +18,7 @@
 #include "gate/tech.hpp"
 #include "power/activity.hpp"
 #include "power/macromodel.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ahbp::power {
 
@@ -133,6 +134,16 @@ public:
   ///@}
 
   [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Publishes the accumulated results into a metrics registry under
+  /// `prefix` (default "ahb.power"), following the naming contract of
+  /// docs/OBSERVABILITY.md: `<prefix>.cycles`,
+  /// `<prefix>.instr.<name>.count` / `.energy_j` for every *executed*
+  /// instruction (names lowercased), `<prefix>.energy.<block>_j`,
+  /// `<prefix>.energy.total_j` and `<prefix>.master.<i>.energy_j`.
+  /// Counters are cumulative -- call once per run.
+  void publish_metrics(telemetry::MetricsRegistry& registry,
+                       const std::string& prefix = "ahb.power") const;
 
   void reset();
 

@@ -1,18 +1,25 @@
 #pragma once
 // Windowed power-versus-time traces (the paper's Figures 3-5).
 //
-// Energy is accumulated per fixed time window; each closed window yields
-// one point whose power is window energy / window duration, per sub-block
-// and total.
+// PowerTrace is now a thin alias over the telemetry layer: the
+// windowing arithmetic lives in telemetry::WindowSeries (ticked in
+// femtoseconds here), and this header only adapts it to the historical
+// BlockEnergy-typed API that report.hpp, the figure benches and the CLI
+// consume. New code should prefer the estimator's cycle-windowed
+// telemetry (AhbPowerEstimator::Config::telemetry_window_cycles) and
+// the telemetry exporters.
 
+#include <cstdint>
 #include <vector>
 
 #include "power/power_fsm.hpp"
+#include "sim/report.hpp"
 #include "sim/time.hpp"
+#include "telemetry/window.hpp"
 
 namespace ahbp::power {
 
-/// Accumulates per-cycle block energies into fixed windows.
+/// Accumulates per-cycle block energies into fixed time windows.
 class PowerTrace {
 public:
   struct Point {
@@ -20,17 +27,38 @@ public:
     BlockEnergy energy;  ///< energy within the window [J]
   };
 
-  explicit PowerTrace(sim::SimTime window);
+  explicit PowerTrace(sim::SimTime window)
+      : window_(window),
+        series_(telemetry::WindowSeries::Config{
+            .window_ticks = window > sim::SimTime::zero()
+                ? static_cast<std::uint64_t>(window.femtoseconds())
+                : throw sim::SimError("PowerTrace: window must be positive"),
+            .tracks = {"arb", "dec", "m2s", "s2m"}}) {}
 
   /// Adds one cycle's energy at simulation time `now`. Windows are
   /// closed automatically as `now` crosses boundaries.
-  void record(sim::SimTime now, const BlockEnergy& e);
+  void record(sim::SimTime now, const BlockEnergy& e) {
+    series_.record(static_cast<std::uint64_t>(now.femtoseconds()),
+                   {e.arb, e.dec, e.m2s, e.s2m});
+  }
 
   /// Closes the current (partial) window so its data becomes visible.
-  void flush();
+  void flush() { series_.flush(); }
 
-  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] const std::vector<Point>& points() const {
+    // Windows only ever append; convert the ones not yet mirrored.
+    for (std::size_t i = points_.size(); i < series_.windows().size(); ++i) {
+      const auto& w = series_.windows()[i];
+      points_.push_back(Point{
+          sim::SimTime::fs(static_cast<std::int64_t>(w.start_tick)),
+          BlockEnergy{.arb = w.values[0], .dec = w.values[1],
+                      .m2s = w.values[2], .s2m = w.values[3]}});
+    }
+    return points_;
+  }
   [[nodiscard]] sim::SimTime window() const { return window_; }
+  /// The backing telemetry series (femtosecond ticks).
+  [[nodiscard]] const telemetry::WindowSeries& series() const { return series_; }
 
   /// Average power of a point [W].
   [[nodiscard]] double power_total(const Point& p) const {
@@ -51,9 +79,8 @@ public:
 
 private:
   sim::SimTime window_;
-  std::int64_t current_index_ = -1;
-  BlockEnergy acc_;
-  std::vector<Point> points_;
+  telemetry::WindowSeries series_;
+  mutable std::vector<Point> points_;  ///< lazy mirror of series_.windows()
 };
 
 }  // namespace ahbp::power

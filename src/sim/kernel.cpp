@@ -76,6 +76,7 @@ void Kernel::do_delta() {
     p->in_runnable_ = false;
     p->execute();
   }
+  stats_.processes_executed += runnable_.size();
   runnable_.clear();
 
   // --- update -----------------------------------------------------------
@@ -120,6 +121,7 @@ void Kernel::run(SimTime duration) {
     const SimTime next = timed_queue_.top().time;
     if (next > end) break;
     now_ = next;
+    ++stats_.time_advances;
     // Trigger every valid event scheduled for this instant.
     while (!timed_queue_.empty() && timed_queue_.top().time == now_) {
       const TimedEntry entry = timed_queue_.top();
@@ -130,6 +132,7 @@ void Kernel::run(SimTime duration) {
       }
       e->pending_ = Event::Pending::kNone;
       e->trigger();
+      ++stats_.timed_notifications;
     }
   }
 

@@ -51,6 +51,16 @@ public:
   /// Number of delta cycles executed so far.
   [[nodiscard]] std::uint64_t delta_count() const { return delta_count_; }
 
+  /// Scheduler activity counters, maintained on the hot path at the
+  /// cost of one increment each -- the kernel's own observability feed
+  /// (exported as `sim.*` metrics by the CLI's --telemetry mode).
+  struct Stats {
+    std::uint64_t processes_executed = 0;  ///< process activations
+    std::uint64_t timed_notifications = 0; ///< timed events triggered
+    std::uint64_t time_advances = 0;       ///< distinct simulated instants
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
   /// Runs the simulation for `duration` (default: until no activity
   /// remains). On return, now() has advanced to start + duration, or to
   /// the last activity if the event queues drained first (or if duration
@@ -102,6 +112,7 @@ private:
 
   SimTime now_;
   std::uint64_t delta_count_ = 0;
+  Stats stats_;
   std::uint64_t timed_seq_ = 0;
   bool initialized_ = false;
   bool running_ = false;

@@ -1,0 +1,95 @@
+#pragma once
+// Telemetry exporters: CSV and JSON window time-series, a Chrome
+// trace_event (about://tracing, ui.perfetto.dev) writer, and the
+// metrics-registry JSON snapshot.
+//
+// Every exporter is deterministic: identical inputs produce
+// byte-identical output (numbers are rendered with a shortest
+// round-trip formatter, maps iterate in name order), so emitted files
+// can be golden-tested and diffed across runs. Formats are specified in
+// docs/OBSERVABILITY.md; structural validity of the JSON outputs is
+// checked in CI by tools/telemetry_validate against
+// tools/telemetry_schema.json.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/window.hpp"
+
+namespace ahbp::telemetry {
+
+/// @name JSON rendering primitives (shared by all JSON emitters)
+///@{
+/// Escapes a string for use inside JSON double quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+/// Renders a finite double as the shortest decimal that parses back to
+/// the same value ("1.5", "0.1", "1e-12"); integral values within the
+/// exact-double range render without a fraction. Non-finite values
+/// render as 0 (JSON has no inf/nan).
+[[nodiscard]] std::string json_number(double v);
+///@}
+
+/// Conversion context shared by the exporters: how long one series tick
+/// lasts in real time (the bus clock period for cycle-indexed series).
+struct ExportMeta {
+  double tick_ns = 10.0;                  ///< duration of one tick [ns]
+  std::string process_name = "ahbpower";  ///< Chrome trace process label
+};
+
+/// One completed duration event on the trace timeline (rendered as a
+/// Chrome trace_event "X" slice): e.g. a run of consecutive bus cycles
+/// in the same power-FSM mode.
+struct TraceEvent {
+  std::string name;          ///< slice label, e.g. "READ"
+  std::string category;      ///< trace_event "cat", e.g. "bus"
+  std::uint64_t start_tick = 0;
+  std::uint64_t dur_ticks = 0;
+};
+
+/// Append-only log of duration events, in non-decreasing start order.
+class TraceEventLog {
+public:
+  void add_complete(std::string name, std::string category,
+                    std::uint64_t start_tick, std::uint64_t dur_ticks) {
+    events_.push_back(TraceEvent{std::move(name), std::move(category),
+                                 start_tick, dur_ticks});
+  }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Writes a window series as CSV. Track values are treated as energies
+/// in joules; columns are
+///   window,start_tick,ticks,t_start_us,e_<track>_j...,e_total_j,p_total_w
+/// where p_total_w divides the window's total energy by its covered
+/// wall time (ticks * tick_ns).
+void write_window_csv(std::ostream& os, const WindowSeries& series,
+                      const ExportMeta& meta);
+
+/// Writes a window series as a JSON document (schema
+/// "ahbpower.windows.v1"): header fields (tick_ns, window_ticks,
+/// tracks, total_energy_j) plus one object per window.
+void write_window_json(std::ostream& os, const WindowSeries& series,
+                       const ExportMeta& meta);
+
+/// Writes a Chrome trace_event JSON file: the log's duration events as
+/// "X" slices on one thread track, and (when `series` is non-null) one
+/// "C" counter event per window carrying each track's average power in
+/// mW -- Perfetto renders those as stacked counter tracks under the
+/// process.
+void write_chrome_trace(std::ostream& os, const TraceEventLog& log,
+                        const WindowSeries* series, const ExportMeta& meta);
+
+/// Writes a metrics-registry snapshot as JSON (schema
+/// "ahbpower.metrics.v1"), metrics in name order.
+void write_metrics_json(std::ostream& os, const MetricsRegistry& registry);
+
+}  // namespace ahbp::telemetry

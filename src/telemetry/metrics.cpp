@@ -1,0 +1,116 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "sim/report.hpp"
+
+namespace ahbp::telemetry {
+
+Histogram::Histogram(const bool* enabled, std::vector<double> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw sim::SimError("Histogram: at least one bucket bound required");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw sim::SimError("Histogram: bounds must be strictly increasing");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  if (!*enabled_) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+bool MetricsRegistry::valid_name(const std::string& name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool prev_dot = false;
+  for (const char c : name) {
+    if (c == '.') {
+      if (prev_dot) return false;
+      prev_dot = true;
+      continue;
+    }
+    prev_dot = false;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void MetricsRegistry::check_name(const std::string& name) const {
+  if (!valid_name(name)) {
+    throw sim::SimError("MetricsRegistry: invalid metric name '" + name +
+                        "' (want lowercase dot-separated [a-z0-9_] segments)");
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  check_name(name);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw sim::SimError("MetricsRegistry: '" + name +
+                        "' already registered as a different kind");
+  }
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, Counter(&enabled_)).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  check_name(name);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw sim::SimError("MetricsRegistry: '" + name +
+                        "' already registered as a different kind");
+  }
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, Gauge(&enabled_)).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  check_name(name);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    throw sim::SimError("MetricsRegistry: '" + name +
+                        "' already registered as a different kind");
+  }
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(&enabled_, std::move(bounds))).first;
+  } else if (it->second.bounds() != bounds) {
+    throw sim::SimError("MetricsRegistry: histogram '" + name +
+                        "' re-registered with different bounds");
+  }
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ahbp::telemetry

@@ -1,0 +1,144 @@
+#pragma once
+// Low-overhead metrics primitives -- the observability counterpart of
+// the paper's POWERTEST bypass philosophy.
+//
+// A MetricsRegistry owns named counters, gauges and histograms.
+// Instrumented code obtains a handle (stable pointer) once, at setup
+// time, and updates it on the hot path; every update is guarded by a
+// single registry-wide enable flag, so a disabled registry costs one
+// predictable branch per update -- the runtime equivalent of compiling
+// the instrumentation out. Metric names follow the contract documented
+// in docs/OBSERVABILITY.md: lowercase dot-separated segments of
+// [a-z0-9_], e.g. "ahb.power.cycles".
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ahbp::telemetry {
+
+/// Monotonically increasing integer metric (events, cycles, bytes).
+class Counter {
+public:
+  void add(std::uint64_t n = 1) {
+    if (*enabled_) value_ += n;
+  }
+  void increment() { add(1); }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+private:
+  friend class MetricsRegistry;
+  explicit Counter(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value metric (energies, ratios, temperatures).
+class Gauge {
+public:
+  void set(double v) {
+    if (*enabled_) value_ = v;
+  }
+  void add(double d) {
+    if (*enabled_) value_ += d;
+  }
+  [[nodiscard]] double value() const { return value_; }
+
+private:
+  friend class MetricsRegistry;
+  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
+  const bool* enabled_;
+  double value_ = 0.0;
+};
+
+/// Distribution metric over fixed bucket upper bounds.
+///
+/// `counts()[i]` counts observations <= `bounds()[i]`; the final slot
+/// counts the overflow (> last bound). Bounds are strictly increasing
+/// and fixed at registration.
+class Histogram {
+public:
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Size bounds().size() + 1 (last slot = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  /// Smallest / largest observation (0 when count() == 0).
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+private:
+  friend class MetricsRegistry;
+  Histogram(const bool* enabled, std::vector<double> bounds);
+  const bool* enabled_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metric store with deterministic iteration order.
+///
+/// Registration is idempotent: asking twice for the same name returns
+/// the same object (a histogram must be re-requested with identical
+/// bounds). Registering one name as two different kinds, or with a name
+/// violating the naming contract, throws. Storage is a std::map, so
+/// handles are stable for the registry's lifetime and snapshots iterate
+/// in name order -- reports are byte-reproducible across runs.
+class MetricsRegistry {
+public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The global bypass switch every handle checks on update.
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> bounds);
+
+  /// Lookup without creation; nullptr when absent.
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  /// Name-ordered views for rendering.
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// True iff `name` satisfies the naming contract: non-empty lowercase
+  /// dot-separated segments of [a-z0-9_], no empty segment.
+  [[nodiscard]] static bool valid_name(const std::string& name);
+
+private:
+  void check_name(const std::string& name) const;
+
+  bool enabled_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace ahbp::telemetry

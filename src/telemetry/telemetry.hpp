@@ -1,0 +1,15 @@
+#pragma once
+// Umbrella header for ahbp::telemetry -- the observability layer.
+//
+//   MetricsRegistry, Counter,
+//   Gauge, Histogram               -- named metrics, one-branch bypass
+//   WindowSeries                   -- fixed-window multi-track series
+//   TraceEventLog                  -- duration events for trace viewers
+//   exporters.hpp                  -- CSV / JSON / Chrome trace_event
+//
+// The instrumentation contract (naming, window semantics, formats,
+// overhead guarantees) is documented in docs/OBSERVABILITY.md.
+
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/window.hpp"

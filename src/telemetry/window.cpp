@@ -1,0 +1,89 @@
+#include "telemetry/window.hpp"
+
+#include <algorithm>
+
+#include "sim/report.hpp"
+
+namespace ahbp::telemetry {
+
+WindowSeries::WindowSeries(Config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.window_ticks == 0) {
+    throw sim::SimError("WindowSeries: window_ticks must be positive");
+  }
+  if (cfg_.tracks.empty()) {
+    throw sim::SimError("WindowSeries: at least one track required");
+  }
+  acc_.assign(cfg_.tracks.size(), 0.0);
+}
+
+void WindowSeries::check_width(std::span<const double> values) const {
+  if (values.size() != cfg_.tracks.size()) {
+    throw sim::SimError("WindowSeries: value count does not match track count");
+  }
+}
+
+void WindowSeries::close_current() {
+  Window w;
+  w.start_tick = static_cast<std::uint64_t>(current_index_) * cfg_.window_ticks;
+  w.ticks = cfg_.window_ticks;
+  w.values = acc_;
+  windows_.push_back(std::move(w));
+  std::fill(acc_.begin(), acc_.end(), 0.0);
+  ++current_index_;
+}
+
+void WindowSeries::record_scaled(std::uint64_t tick,
+                                 std::span<const double> values, double scale) {
+  const auto idx = static_cast<std::int64_t>(tick / cfg_.window_ticks);
+  if (current_index_ < 0) current_index_ = idx;
+  while (idx > current_index_) close_current();  // interior + gap windows
+  for (std::size_t i = 0; i < acc_.size(); ++i) acc_[i] += values[i] * scale;
+  open_ = true;
+  last_tick_ = std::max(last_tick_, tick);
+}
+
+void WindowSeries::record(std::uint64_t tick, std::span<const double> values) {
+  check_width(values);
+  record_scaled(tick, values, 1.0);
+}
+
+void WindowSeries::record_span(std::uint64_t start_tick, std::uint64_t n_ticks,
+                               std::span<const double> values) {
+  check_width(values);
+  if (n_ticks == 0) return;
+  const std::uint64_t end = start_tick + n_ticks;
+  std::uint64_t pos = start_tick;
+  while (pos < end) {
+    const std::uint64_t window_end =
+        (pos / cfg_.window_ticks + 1) * cfg_.window_ticks;
+    const std::uint64_t chunk = std::min(end, window_end) - pos;
+    // The chunk's last tick still lies inside this window, so the scaled
+    // record lands in it and advances last_tick_ to the chunk end.
+    record_scaled(pos + chunk - 1, values,
+                  static_cast<double>(chunk) / static_cast<double>(n_ticks));
+    pos += chunk;
+  }
+}
+
+void WindowSeries::flush() {
+  if (!open_) return;
+  Window w;
+  w.start_tick = static_cast<std::uint64_t>(current_index_) * cfg_.window_ticks;
+  w.ticks = std::min(cfg_.window_ticks, last_tick_ + 1 - w.start_tick);
+  w.values = acc_;
+  windows_.push_back(std::move(w));
+  std::fill(acc_.begin(), acc_.end(), 0.0);
+  ++current_index_;
+  open_ = false;
+}
+
+std::vector<double> WindowSeries::totals() const {
+  std::vector<double> t(cfg_.tracks.size(), 0.0);
+  for (const Window& w : windows_) {
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] += w.values[i];
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] += acc_[i];
+  return t;
+}
+
+}  // namespace ahbp::telemetry

@@ -1,0 +1,101 @@
+// Tests for the campaign JSON report: structure, failure capture, and
+// the byte-identical determinism contract across thread counts.
+
+#include "campaign/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "campaign/campaign.hpp"
+#include "sim/sim.hpp"
+
+namespace ahbp::campaign {
+namespace {
+
+/// Synthetic spec: no simulation, just a deterministic report.
+RunSpec synthetic_spec(std::string name, double energy) {
+  return RunSpec{std::move(name), [energy] {
+                   PowerReport r;
+                   r.total_energy = energy;
+                   r.blocks.arb = energy * 0.25;
+                   r.blocks.dec = energy * 0.25;
+                   r.blocks.m2s = energy * 0.25;
+                   r.blocks.s2m = energy * 0.25;
+                   r.cycles = 100;
+                   r.transfers = 42;
+                   r.metrics["zeta"] = 2.0;   // key order must win over
+                   r.metrics["alpha"] = 1.0;  // insertion order
+                   return r;
+                 }};
+}
+
+std::string render(const std::vector<RunOutcome>& outcomes, unsigned threads) {
+  std::ostringstream os;
+  write_campaign_json(
+      os, outcomes,
+      CampaignReportMeta{.name = "test", .cycles = 100, .threads = threads});
+  return os.str();
+}
+
+TEST(CampaignReport, GoldenStructure) {
+  const Campaign pool(Campaign::Config{.threads = 1});
+  const auto outcomes = pool.run({synthetic_spec("a", 1.5)});
+  EXPECT_EQ(render(outcomes, 1),
+            "{\n"
+            "  \"schema\": \"ahbpower.campaign.v1\",\n"
+            "  \"name\": \"test\",\n"
+            "  \"cycles\": 100,\n"
+            "  \"threads\": 1,\n"
+            "  \"runs\": [\n"
+            "    {\"index\": 0, \"name\": \"a\", \"ok\": true, \"cycles\": "
+            "100, \"transfers\": 42, \"total_energy_j\": 1.5, \"blocks_j\": "
+            "{\"arb\": 0.375, \"dec\": 0.375, \"m2s\": 0.375, \"s2m\": "
+            "0.375}, \"metrics\": {\"alpha\": 1, \"zeta\": 2}}\n"
+            "  ],\n"
+            "  \"aggregate\": {\"runs\": 1, \"failed\": 0, "
+            "\"total_energy_j\": 1.5, \"min_energy_j\": 1.5, "
+            "\"max_energy_j\": 1.5}\n"
+            "}\n");
+}
+
+TEST(CampaignReport, CapturesFailures) {
+  std::vector<RunSpec> specs;
+  specs.push_back(synthetic_spec("good", 2.0));
+  specs.push_back(RunSpec{"bad", []() -> PowerReport {
+                            throw sim::SimError("deliberate");
+                          }});
+  const Campaign pool(Campaign::Config{.threads = 1});
+  const auto outcomes = pool.run(specs);
+  const std::string json = render(outcomes, 1);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("deliberate"), std::string::npos);
+  EXPECT_NE(json.find("\"failed\": 1"), std::string::npos);
+  // Aggregate energy statistics cover successful runs only.
+  EXPECT_NE(json.find("\"total_energy_j\": 2, \"min_energy_j\": 2, "
+                      "\"max_energy_j\": 2"),
+            std::string::npos);
+}
+
+TEST(CampaignReport, ByteIdenticalAcrossThreadCounts) {
+  std::vector<RunSpec> specs;
+  for (int i = 0; i < 8; ++i) {
+    specs.push_back(synthetic_spec("run" + std::to_string(i), 0.5 + i));
+  }
+  const Campaign serial(Campaign::Config{.threads = 1});
+  const Campaign parallel(Campaign::Config{.threads = 4});
+  // Same meta.threads in both renders: the report records the campaign
+  // configuration, not scheduling accidents; outcomes must not differ.
+  const std::string a = render(serial.run(specs), 4);
+  const std::string b = render(parallel.run(specs), 4);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CampaignReport, EmptyCampaign) {
+  const std::string json = render({}, 1);
+  EXPECT_NE(json.find("\"runs\": [\n  ]"), std::string::npos);
+  EXPECT_NE(json.find("\"runs\": 0, \"failed\": 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ahbp::campaign

@@ -1,0 +1,177 @@
+// Golden-file tests for the exporters: identical inputs must produce
+// byte-identical output (the determinism contract of
+// docs/OBSERVABILITY.md), and the formats themselves are locked down
+// against the exact strings below.
+
+#include "telemetry/exporters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/window.hpp"
+
+namespace ahbp::telemetry {
+namespace {
+
+// The reference scenario: two tracks, one full and one partial window,
+// tick = 1 us so timestamps come out integral.
+WindowSeries golden_series() {
+  WindowSeries s(
+      WindowSeries::Config{.window_ticks = 4, .tracks = {"arb", "dec"}});
+  s.record(0, {1.0, 2.0});
+  s.record(1, {0.5, 0.25});
+  s.record(5, {0.25, 0.5});
+  s.flush();
+  return s;
+}
+
+ExportMeta golden_meta() {
+  return ExportMeta{.tick_ns = 1000.0, .process_name = "test"};
+}
+
+TEST(JsonNumber, ShortestRoundTrip) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(-2.25), "-2.25");
+  EXPECT_EQ(json_number(42.0), "42");  // exact integers drop the fraction
+  EXPECT_EQ(json_number(1e-12), "1e-12");
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(1.0 / 3.0), "0.3333333333333333");
+  // JSON has no inf/nan; the contract maps them to 0.
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+TEST(JsonEscape, ControlAndQuoteHandling) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+}
+
+TEST(WindowCsv, MatchesGolden) {
+  std::ostringstream os;
+  write_window_csv(os, golden_series(), golden_meta());
+  EXPECT_EQ(os.str(),
+            "window,start_tick,ticks,t_start_us,e_arb_j,e_dec_j,e_total_j,"
+            "p_total_w\n"
+            "0,0,4,0,1.5,2.25,3.75,937499.9999999999\n"
+            "1,4,2,4,0.25,0.5,0.75,374999.99999999994\n");
+}
+
+TEST(WindowJson, MatchesGolden) {
+  std::ostringstream os;
+  write_window_json(os, golden_series(), golden_meta());
+  EXPECT_EQ(
+      os.str(),
+      "{\n"
+      "  \"schema\": \"ahbpower.windows.v1\",\n"
+      "  \"tick_ns\": 1000,\n"
+      "  \"window_ticks\": 4,\n"
+      "  \"tracks\": [\"arb\", \"dec\"],\n"
+      "  \"total_energy_j\": 4.5,\n"
+      "  \"windows\": [\n"
+      "    {\"start_tick\": 0, \"ticks\": 4, \"t_start_us\": 0, \"energy_j\": "
+      "[1.5, 2.25], \"energy_total_j\": 3.75, \"power_w\": "
+      "937499.9999999999},\n"
+      "    {\"start_tick\": 4, \"ticks\": 2, \"t_start_us\": 4, \"energy_j\": "
+      "[0.25, 0.5], \"energy_total_j\": 0.75, \"power_w\": "
+      "374999.99999999994}\n"
+      "  ]\n"
+      "}\n");
+}
+
+TEST(ChromeTrace, MatchesGolden) {
+  TraceEventLog log;
+  log.add_complete("READ", "bus", 0, 3);
+  log.add_complete("IDLE", "bus", 3, 2);
+  const WindowSeries series = golden_series();
+  std::ostringstream os;
+  write_chrome_trace(os, log, &series, golden_meta());
+  EXPECT_EQ(
+      os.str(),
+      "{\"traceEvents\": [\n"
+      "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"test\"}},\n"
+      "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
+      "\"args\": {\"name\": \"bus instructions\"}},\n"
+      "  {\"name\": \"READ\", \"cat\": \"bus\", \"ph\": \"X\", \"pid\": 1, "
+      "\"tid\": 1, \"ts\": 0, \"dur\": 3},\n"
+      "  {\"name\": \"IDLE\", \"cat\": \"bus\", \"ph\": \"X\", \"pid\": 1, "
+      "\"tid\": 1, \"ts\": 3, \"dur\": 2},\n"
+      "  {\"name\": \"power_mw\", \"ph\": \"C\", \"pid\": 1, \"ts\": 0, "
+      "\"args\": {\"arb\": 374999999.99999994, \"dec\": 562499999.9999999}},\n"
+      "  {\"name\": \"power_mw\", \"ph\": \"C\", \"pid\": 1, \"ts\": 4, "
+      "\"args\": {\"arb\": 124999999.99999999, \"dec\": "
+      "249999999.99999997}}\n"
+      "]}\n");
+}
+
+TEST(ChromeTrace, NoSeriesOmitsCounters) {
+  TraceEventLog log;
+  log.add_complete("WRITE", "bus", 0, 1);
+  std::ostringstream os;
+  write_chrome_trace(os, log, nullptr, golden_meta());
+  EXPECT_EQ(os.str().find("power_mw"), std::string::npos);
+  EXPECT_NE(os.str().find("\"WRITE\""), std::string::npos);
+}
+
+TEST(MetricsJson, MatchesGolden) {
+  MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.gauge").set(1.5);
+  reg.histogram("c.hist", {1.0, 2.0}).observe(0.5);
+  reg.histogram("c.hist", {1.0, 2.0}).observe(5.0);
+  std::ostringstream os;
+  write_metrics_json(os, reg);
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"schema\": \"ahbpower.metrics.v1\",\n"
+            "  \"enabled\": true,\n"
+            "  \"counters\": {\n"
+            "    \"a.count\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"b.gauge\": 1.5\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"c.hist\": {\"bounds\": [1, 2], \"counts\": [1, 0, 1], "
+            "\"count\": 2, \"sum\": 5.5, \"min\": 0.5, \"max\": 5}\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(MetricsJson, EmptyRegistry) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  write_metrics_json(os, reg);
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"schema\": \"ahbpower.metrics.v1\",\n"
+            "  \"enabled\": true,\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {}\n"
+            "}\n");
+}
+
+TEST(Exporters, ByteIdenticalAcrossRepeatedExport) {
+  const WindowSeries series = golden_series();
+  const ExportMeta meta = golden_meta();
+  std::ostringstream a, b;
+  write_window_json(a, series, meta);
+  write_window_json(b, series, meta);
+  EXPECT_EQ(a.str(), b.str());
+
+  std::ostringstream c, d;
+  write_window_csv(c, series, meta);
+  write_window_csv(d, series, meta);
+  EXPECT_EQ(c.str(), d.str());
+}
+
+}  // namespace
+}  // namespace ahbp::telemetry

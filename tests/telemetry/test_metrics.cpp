@@ -1,0 +1,148 @@
+// Unit tests for the metrics primitives: handle semantics, the global
+// bypass switch, histogram bucketing, and the naming contract
+// (docs/OBSERVABILITY.md).
+
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hpp"
+
+namespace ahbp::telemetry {
+namespace {
+
+TEST(Counter, AccumulatesAndBypasses) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  reg.set_enabled(false);
+  c.add(1000);
+  c.increment();
+  EXPECT_EQ(c.value(), 42u);  // updates dropped while disabled
+
+  reg.set_enabled(true);
+  c.increment();
+  EXPECT_EQ(c.value(), 43u);
+}
+
+TEST(Gauge, SetAddAndBypass) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test.gauge");
+  g.set(2.5);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 2.75);
+
+  reg.set_enabled(false);
+  g.set(99.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.75);
+}
+
+TEST(Histogram, BucketsByUpperBoundWithOverflow) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.hist", {1.0, 2.0, 5.0});
+  ASSERT_EQ(h.counts().size(), 4u);  // 3 bounds + overflow
+
+  h.observe(0.5);   // <= 1.0
+  h.observe(1.0);   // <= 1.0 (bounds are inclusive upper limits)
+  h.observe(1.5);   // <= 2.0
+  h.observe(5.0);   // <= 5.0
+  h.observe(100.0); // overflow
+
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 108.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 108.0 / 5.0);
+}
+
+TEST(Histogram, EmptyStatsAreZero) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.empty", {1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  MetricsRegistry reg;
+  EXPECT_THROW((void)reg.histogram("bad.empty", {}), sim::SimError);
+  EXPECT_THROW((void)reg.histogram("bad.unsorted", {2.0, 1.0}), sim::SimError);
+  EXPECT_THROW((void)reg.histogram("bad.dup", {1.0, 1.0}), sim::SimError);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.count");
+  a.add(7);
+  // Force rebalancing of the underlying map with more registrations.
+  for (int i = 0; i < 50; ++i) {
+    reg.counter("x.filler_" + std::to_string(i)).add(1);
+  }
+  Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);  // same handle, not a new metric
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(reg.size(), 51u);
+}
+
+TEST(MetricsRegistry, CrossKindRegistrationThrows) {
+  MetricsRegistry reg;
+  (void)reg.counter("metric.one");
+  EXPECT_THROW((void)reg.gauge("metric.one"), sim::SimError);
+  EXPECT_THROW((void)reg.histogram("metric.one", {1.0}), sim::SimError);
+
+  (void)reg.histogram("metric.two", {1.0, 2.0});
+  EXPECT_THROW((void)reg.counter("metric.two"), sim::SimError);
+  // Same bounds re-registration is fine; different bounds are not.
+  EXPECT_NO_THROW((void)reg.histogram("metric.two", {1.0, 2.0}));
+  EXPECT_THROW((void)reg.histogram("metric.two", {1.0, 3.0}), sim::SimError);
+}
+
+TEST(MetricsRegistry, NamingContract) {
+  EXPECT_TRUE(MetricsRegistry::valid_name("ahb.power.cycles"));
+  EXPECT_TRUE(MetricsRegistry::valid_name("a"));
+  EXPECT_TRUE(MetricsRegistry::valid_name("snake_case.seg2.x_1"));
+
+  EXPECT_FALSE(MetricsRegistry::valid_name(""));
+  EXPECT_FALSE(MetricsRegistry::valid_name(".leading"));
+  EXPECT_FALSE(MetricsRegistry::valid_name("trailing."));
+  EXPECT_FALSE(MetricsRegistry::valid_name("double..dot"));
+  EXPECT_FALSE(MetricsRegistry::valid_name("Upper.case"));
+  EXPECT_FALSE(MetricsRegistry::valid_name("has space"));
+  EXPECT_FALSE(MetricsRegistry::valid_name("has-dash"));
+
+  MetricsRegistry reg;
+  EXPECT_THROW((void)reg.counter("Bad.Name"), sim::SimError);
+}
+
+TEST(MetricsRegistry, IteratesInNameOrder) {
+  MetricsRegistry reg;
+  (void)reg.counter("z.last");
+  (void)reg.counter("a.first");
+  (void)reg.counter("m.middle");
+  std::vector<std::string> names;
+  for (const auto& [name, c] : reg.counters()) names.push_back(name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"a.first", "m.middle", "z.last"}));
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_gauge("nope"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  EXPECT_EQ(reg.size(), 0u);
+
+  (void)reg.counter("yes");
+  EXPECT_NE(reg.find_counter("yes"), nullptr);
+}
+
+}  // namespace
+}  // namespace ahbp::telemetry

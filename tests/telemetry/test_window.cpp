@@ -1,0 +1,160 @@
+// Locks down the window semantics documented in docs/OBSERVABILITY.md:
+// boundary crossing, zero-valued gap windows, the partial final window,
+// span splitting across edges, and the conservation guarantee.
+
+#include "telemetry/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hpp"
+
+namespace ahbp::telemetry {
+namespace {
+
+WindowSeries make_series(std::uint64_t window_ticks,
+                         std::vector<std::string> tracks = {"e"}) {
+  return WindowSeries(
+      WindowSeries::Config{.window_ticks = window_ticks, .tracks = tracks});
+}
+
+TEST(WindowSeries, ClosesWindowOnBoundaryCrossing) {
+  WindowSeries s = make_series(10);
+  s.record(0, {1.0});
+  s.record(9, {2.0});
+  EXPECT_TRUE(s.windows().empty());  // window [0,10) still open
+
+  s.record(10, {4.0});  // crossing closes [0,10)
+  ASSERT_EQ(s.windows().size(), 1u);
+  EXPECT_EQ(s.windows()[0].start_tick, 0u);
+  EXPECT_EQ(s.windows()[0].ticks, 10u);
+  EXPECT_DOUBLE_EQ(s.windows()[0].values[0], 3.0);
+}
+
+TEST(WindowSeries, EmitsZeroGapWindows) {
+  WindowSeries s = make_series(10);
+  s.record(5, {1.0});
+  s.record(35, {2.0});  // skips windows [10,20) and [20,30)
+  ASSERT_EQ(s.windows().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.windows()[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.windows()[1].values[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.windows()[2].values[0], 0.0);
+  EXPECT_EQ(s.windows()[1].start_tick, 10u);
+  EXPECT_EQ(s.windows()[1].ticks, 10u);  // gaps cover the full window
+  EXPECT_EQ(s.windows()[2].start_tick, 20u);
+}
+
+TEST(WindowSeries, FirstWindowStartsAtFirstRecordsWindow) {
+  WindowSeries s = make_series(10);
+  s.record(42, {1.0});  // first record in window [40,50): no leading gaps
+  s.flush();
+  ASSERT_EQ(s.windows().size(), 1u);
+  EXPECT_EQ(s.windows()[0].start_tick, 40u);
+}
+
+TEST(WindowSeries, FlushClosesPartialFinalWindow) {
+  WindowSeries s = make_series(10);
+  s.record(0, {1.0});
+  s.record(13, {2.0});  // closes [0,10), opens [10,20)
+  s.flush();
+  ASSERT_EQ(s.windows().size(), 2u);
+  EXPECT_EQ(s.windows()[1].start_tick, 10u);
+  EXPECT_EQ(s.windows()[1].ticks, 4u);  // covered ticks 10..13 only
+  EXPECT_DOUBLE_EQ(s.windows()[1].values[0], 2.0);
+
+  s.flush();  // idempotent
+  EXPECT_EQ(s.windows().size(), 2u);
+}
+
+TEST(WindowSeries, FlushOnExactBoundaryKeepsFullTicks) {
+  WindowSeries s = make_series(10);
+  for (std::uint64_t t = 0; t < 10; ++t) s.record(t, {1.0});
+  s.flush();  // the window is exactly full but was never crossed
+  ASSERT_EQ(s.windows().size(), 1u);
+  EXPECT_EQ(s.windows()[0].ticks, 10u);
+  EXPECT_DOUBLE_EQ(s.windows()[0].values[0], 10.0);
+}
+
+TEST(WindowSeries, SpanSplitsUniformlyAcrossEdges) {
+  WindowSeries s = make_series(10);
+  // 4 ticks in [8,12): 2 ticks fall in [0,10), 2 in [10,20).
+  s.record_span(8, 4, {8.0});
+  s.flush();
+  ASSERT_EQ(s.windows().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.windows()[0].values[0], 4.0);  // 8 * 2/4
+  EXPECT_DOUBLE_EQ(s.windows()[1].values[0], 4.0);
+  EXPECT_EQ(s.windows()[1].ticks, 2u);  // covers ticks 10..11
+}
+
+TEST(WindowSeries, LongSpanCoversManyWindows) {
+  WindowSeries s = make_series(10);
+  s.record_span(0, 35, {35.0});  // 1.0 per tick over 3.5 windows
+  s.flush();
+  ASSERT_EQ(s.windows().size(), 4u);
+  EXPECT_DOUBLE_EQ(s.windows()[0].values[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.windows()[1].values[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.windows()[2].values[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.windows()[3].values[0], 5.0);
+  EXPECT_EQ(s.windows()[3].ticks, 5u);
+}
+
+TEST(WindowSeries, MultiTrackValuesStayInOrder) {
+  WindowSeries s = make_series(5, {"arb", "dec"});
+  s.record(0, {1.0, 10.0});
+  s.record(1, {2.0, 20.0});
+  s.flush();
+  ASSERT_EQ(s.windows().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.windows()[0].values[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.windows()[0].values[1], 30.0);
+}
+
+TEST(WindowSeries, ConservationAcrossMixedRecording) {
+  WindowSeries s = make_series(7, {"a", "b"});
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (std::uint64_t t = 0; t < 100; t += 3) {
+    const double a = 0.25 * static_cast<double>(t % 5);
+    const double b = 1.0 / static_cast<double>(t + 1);
+    s.record(t, {a, b});
+    sum_a += a;
+    sum_b += b;
+  }
+  s.record_span(100, 23, {5.5, 0.125});
+  sum_a += 5.5;
+  sum_b += 0.125;
+
+  const std::vector<double> live = s.totals();  // before flush
+  EXPECT_NEAR(live[0], sum_a, 1e-12 * sum_a);
+  EXPECT_NEAR(live[1], sum_b, 1e-12);
+
+  s.flush();
+  double win_a = 0.0;
+  double win_b = 0.0;
+  for (const auto& w : s.windows()) {
+    win_a += w.values[0];
+    win_b += w.values[1];
+  }
+  EXPECT_NEAR(win_a, sum_a, 1e-12 * sum_a);
+  EXPECT_NEAR(win_b, sum_b, 1e-12);
+}
+
+TEST(WindowSeries, RejectsBadConfigAndWidth) {
+  EXPECT_THROW(make_series(0), sim::SimError);
+  EXPECT_THROW(WindowSeries(WindowSeries::Config{.window_ticks = 10}),
+               sim::SimError);  // no tracks
+  WindowSeries s = make_series(10, {"a", "b"});
+  EXPECT_THROW(s.record(0, {1.0}), sim::SimError);  // width mismatch
+}
+
+TEST(WindowSeries, StragglersFoldIntoOpenWindow) {
+  WindowSeries s = make_series(10);
+  s.record(8, {1.0});
+  s.record(3, {2.0});  // earlier tick, same window: allowed
+  s.flush();
+  ASSERT_EQ(s.windows().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.windows()[0].values[0], 3.0);
+  // last_tick_ stays at 8, so the partial window covers 9 ticks.
+  EXPECT_EQ(s.windows()[0].ticks, 9u);
+}
+
+}  // namespace
+}  // namespace ahbp::telemetry

@@ -7,7 +7,11 @@
 //     --waits N         wait states per slave         (default 0)
 //     --policy P        fixed | rr                    (default fixed)
 //     --seed N          base RNG seed                 (default 1)
-//     --window NS       power-trace window in ns      (default off)
+//     --window N        power window in bus cycles    (default off;
+//                       1000 when --telemetry is given without it)
+//     --telemetry DIR   write windowed power series (CSV + JSON), a
+//                       Chrome trace_event file and a metrics snapshot
+//                       into DIR (campaign.json in --sweep mode)
 //     --table           print the instruction table
 //     --breakdown       print the sub-block breakdown
 //     --attribution     print per-master energy attribution
@@ -24,6 +28,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -31,12 +36,16 @@
 
 #include "ahb/ahb.hpp"
 #include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
 #include "power/power.hpp"
 #include "sim/sim.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
 using namespace ahbp;
+
+constexpr std::int64_t kClockNs = 10;  // 100 MHz
 
 struct Options {
   std::uint64_t cycles = 5000;
@@ -45,7 +54,7 @@ struct Options {
   unsigned waits = 0;
   ahb::ArbitrationPolicy policy = ahb::ArbitrationPolicy::kFixedPriority;
   std::uint64_t seed = 1;
-  std::int64_t window_ns = 0;
+  std::uint64_t window_cycles = 0;
   bool table = false;
   bool breakdown = false;
   bool attribution = false;
@@ -55,12 +64,14 @@ struct Options {
   unsigned jobs = 0;
   std::string csv;
   std::string trace_out;
+  std::string telemetry_dir;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--cycles N] [--masters N] [--slaves N] [--waits N]\n"
-               "          [--policy fixed|rr] [--seed N] [--window NS]\n"
+               "          [--policy fixed|rr] [--seed N] [--window CYCLES]\n"
+               "          [--telemetry DIR]\n"
                "          [--table] [--breakdown] [--attribution] [--activity]\n"
                "          [--csv FILE] [--trace-out FILE] [--quiet]\n"
                "          [--sweep] [--jobs N]\n",
@@ -96,7 +107,9 @@ Options parse(int argc, char** argv) {
     } else if (a == "--seed") {
       o.seed = std::strtoull(need_value(i), nullptr, 0);
     } else if (a == "--window") {
-      o.window_ns = std::strtoll(need_value(i), nullptr, 0);
+      o.window_cycles = std::strtoull(need_value(i), nullptr, 0);
+    } else if (a == "--telemetry") {
+      o.telemetry_dir = need_value(i);
     } else if (a == "--table") {
       o.table = true;
     } else if (a == "--breakdown") {
@@ -122,11 +135,26 @@ Options parse(int argc, char** argv) {
   if (o.masters < 1 || o.masters > 8 || o.slaves < 1 || o.slaves > 8) {
     usage(argv[0]);
   }
-  if (!o.csv.empty() && o.window_ns <= 0) {
+  if (!o.csv.empty() && o.window_cycles == 0) {
     std::fputs("--csv requires --window\n", stderr);
     std::exit(2);
   }
+  // Telemetry needs a window; default to the 1000-cycle granularity of
+  // the acceptance workflow when none was given.
+  if (!o.telemetry_dir.empty() && o.window_cycles == 0) o.window_cycles = 1000;
   return o;
+}
+
+/// Opens `dir/name` for writing, creating the directory on first use.
+std::ofstream open_output(const std::string& dir, const char* name) {
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path path = std::filesystem::path(dir) / name;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    std::exit(2);
+  }
+  return out;
 }
 
 /// One --sweep configuration as a campaign spec: the CLI topology with
@@ -143,8 +171,8 @@ campaign::RunSpec sweep_spec(const Options& o, ahb::ArbitrationPolicy policy,
   return {name, [run] {
             sim::Kernel kernel;
             sim::Module top(nullptr, "top");
-            sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5,
-                           sim::SimTime::ns(10));
+            sim::Clock clk(&top, "clk", sim::SimTime::ns(kClockNs), 0.5,
+                           sim::SimTime::ns(kClockNs));
             ahb::AhbBus bus(&top, "ahb", clk,
                             ahb::AhbBus::Config{.policy = run.policy});
             ahb::DefaultMaster dm(&top, "default_master", bus);
@@ -170,7 +198,7 @@ campaign::RunSpec sweep_spec(const Options& o, ahb::ArbitrationPolicy policy,
             ahb::BusMonitor mon(&top, "monitor", bus,
                                 ahb::BusMonitor::Config{.fatal = false});
             power::AhbPowerEstimator est(&top, "power", bus);
-            kernel.run(sim::SimTime::ns(10) *
+            kernel.run(sim::SimTime::ns(kClockNs) *
                        static_cast<std::int64_t>(run.cycles));
 
             campaign::PowerReport r;
@@ -215,6 +243,16 @@ int run_sweep(const Options& o) {
                 100.0 * r.metrics.at("data_share"),
                 100.0 * r.metrics.at("arb_share"));
   }
+  if (!o.telemetry_dir.empty()) {
+    std::ofstream out = open_output(o.telemetry_dir, "campaign.json");
+    campaign::write_campaign_json(
+        out, outcomes,
+        campaign::CampaignReportMeta{.name = "ahbpower_cli --sweep",
+                                     .cycles = o.cycles,
+                                     .threads = pool.threads()});
+    std::printf("campaign report written to %s/campaign.json\n",
+                o.telemetry_dir.c_str());
+  }
   return rc;
 }
 
@@ -224,9 +262,11 @@ int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
   if (o.sweep) return run_sweep(o);
 
+  telemetry::MetricsRegistry metrics;
   sim::Kernel kernel;
   sim::Module top(nullptr, "top");
-  sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10));
+  sim::Clock clk(&top, "clk", sim::SimTime::ns(kClockNs), 0.5,
+                 sim::SimTime::ns(kClockNs));
   ahb::AhbBus bus(&top, "ahb", clk, ahb::AhbBus::Config{.policy = o.policy});
 
   ahb::DefaultMaster dm(&top, "default_master", bus);
@@ -252,18 +292,23 @@ int main(int argc, char** argv) {
 
   ahb::BusMonitor::Config mon_cfg{.fatal = false};
   ahb::BusMonitor mon(&top, "monitor", bus, mon_cfg);
+  const bool telemetry_on = !o.telemetry_dir.empty();
   power::AhbPowerEstimator est(
       &top, "power", bus,
       power::AhbPowerEstimator::Config{
-          .trace_window = o.window_ns > 0 ? sim::SimTime::ns(o.window_ns)
-                                          : sim::SimTime::zero()});
+          .trace_window = o.window_cycles > 0 && !o.csv.empty()
+              ? sim::SimTime::ns(kClockNs) *
+                    static_cast<std::int64_t>(o.window_cycles)
+              : sim::SimTime::zero(),
+          .telemetry_window_cycles = telemetry_on ? o.window_cycles : 0,
+          .metrics = telemetry_on ? &metrics : nullptr});
   std::unique_ptr<ahb::TraceRecorder> recorder;
   if (!o.trace_out.empty()) {
     recorder = std::make_unique<ahb::TraceRecorder>(&top, "recorder", bus);
   }
 
-  kernel.run(sim::SimTime::ns(10) * static_cast<std::int64_t>(o.cycles));
-  est.flush_trace();
+  kernel.run(sim::SimTime::ns(kClockNs) * static_cast<std::int64_t>(o.cycles));
+  est.flush_telemetry();
 
   const double secs = kernel.now().to_seconds();
   std::printf("ahbpower: %llu cycles @ 100 MHz | %llu transfers | %s | avg %s | "
@@ -275,6 +320,43 @@ int main(int argc, char** argv) {
               100.0 * power::data_transfer_share(est.fsm()),
               100.0 * power::arbitration_share(est.fsm()),
               mon.violations().size());
+
+  if (telemetry_on) {
+    const telemetry::ExportMeta meta{.tick_ns = static_cast<double>(kClockNs),
+                                     .process_name = "ahbpower"};
+    {
+      std::ofstream out = open_output(o.telemetry_dir, "power_windows.csv");
+      telemetry::write_window_csv(out, *est.windows(), meta);
+    }
+    {
+      std::ofstream out = open_output(o.telemetry_dir, "power_windows.json");
+      telemetry::write_window_json(out, *est.windows(), meta);
+    }
+    {
+      std::ofstream out = open_output(o.telemetry_dir, "trace.json");
+      telemetry::write_chrome_trace(out, *est.trace_events(), est.windows(),
+                                    meta);
+    }
+    {
+      // Run-level and scheduler-level context beside the power metrics.
+      metrics.counter("run.transfers").add(mon.stats().transfers);
+      metrics.counter("run.protocol_violations").add(mon.violations().size());
+      metrics.counter("sim.deltas").add(kernel.delta_count());
+      metrics.counter("sim.processes_executed")
+          .add(kernel.stats().processes_executed);
+      metrics.counter("sim.timed_notifications")
+          .add(kernel.stats().timed_notifications);
+      metrics.counter("sim.time_advances").add(kernel.stats().time_advances);
+      metrics.gauge("run.simulated_seconds").set(secs);
+      std::ofstream out = open_output(o.telemetry_dir, "metrics.json");
+      telemetry::write_metrics_json(out, metrics);
+    }
+    std::printf(
+        "telemetry written to %s (power_windows.csv, power_windows.json, "
+        "trace.json, metrics.json; window = %llu cycles)\n",
+        o.telemetry_dir.c_str(),
+        static_cast<unsigned long long>(o.window_cycles));
+  }
   if (o.quiet) return 0;
 
   if (o.table) {

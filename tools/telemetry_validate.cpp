@@ -1,0 +1,362 @@
+// telemetry_validate -- check a telemetry JSON artifact against the
+// checked-in schema catalogue.
+//
+//   telemetry_validate <schema-catalogue.json> <artifact.json>
+//
+// The catalogue (tools/telemetry_schema.json) maps schema identifiers
+// ("ahbpower.windows.v1", ...) to JSON-Schema-style descriptions; the
+// artifact names its own schema via its top-level "schema" field. The
+// checker implements the subset of JSON Schema the contract needs --
+// "type", "properties", "required", "items" -- over a small hand-rolled
+// recursive-descent JSON parser, so validation needs no third-party
+// dependency.
+//
+// For "ahbpower.windows.v1" artifacts it additionally enforces the
+// conservation guarantee from docs/OBSERVABILITY.md: per-window energies
+// must sum to total_energy_j within 1e-9 relative error.
+//
+// Exit 0 when valid, 1 on a contract violation, 2 on bad usage / I/O.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON value + parser -------------------------------------------
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    throw std::runtime_error("JSON parse error at line " + std::to_string(line) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      default: return parse_number();
+    }
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Contract files are ASCII; keep escapes opaque but consume them.
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            out += '?';
+            pos_ += 4;
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    try {
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      const std::string key = parse_string();
+      expect(':');
+      v.object.emplace(key, parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// --- schema-subset checker -------------------------------------------------
+
+const char* kind_name(Value::Kind k) {
+  switch (k) {
+    case Value::Kind::kNull: return "null";
+    case Value::Kind::kBool: return "boolean";
+    case Value::Kind::kNumber: return "number";
+    case Value::Kind::kString: return "string";
+    case Value::Kind::kArray: return "array";
+    case Value::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+bool kind_matches(const Value& v, const std::string& type) {
+  switch (v.kind) {
+    case Value::Kind::kNull: return type == "null";
+    case Value::Kind::kBool: return type == "boolean";
+    case Value::Kind::kNumber:
+      return type == "number" ||
+             (type == "integer" && v.number == std::floor(v.number));
+    case Value::Kind::kString: return type == "string";
+    case Value::Kind::kArray: return type == "array";
+    case Value::Kind::kObject: return type == "object";
+  }
+  return false;
+}
+
+/// Validates `v` against the supported schema subset, appending one line
+/// per violation ("<path>: <reason>") to `errors`.
+void validate(const Value& v, const Value& schema, const std::string& path,
+              std::vector<std::string>& errors) {
+  if (const Value* type = schema.find("type")) {
+    bool ok = false;
+    if (type->kind == Value::Kind::kString) {
+      ok = kind_matches(v, type->string);
+    } else if (type->kind == Value::Kind::kArray) {
+      for (const Value& t : type->array) ok = ok || kind_matches(v, t.string);
+    }
+    if (!ok) {
+      errors.push_back(path + ": expected type " +
+                       (type->kind == Value::Kind::kString ? type->string
+                                                           : "(union)") +
+                       ", got " + kind_name(v.kind));
+      return;  // structural checks below would only cascade
+    }
+  }
+  if (const Value* required = schema.find("required")) {
+    for (const Value& name : required->array) {
+      if (v.kind == Value::Kind::kObject && v.find(name.string) == nullptr) {
+        errors.push_back(path + ": missing required property \"" + name.string +
+                         "\"");
+      }
+    }
+  }
+  if (const Value* props = schema.find("properties")) {
+    if (v.kind == Value::Kind::kObject) {
+      for (const auto& [name, sub] : props->object) {
+        if (const Value* child = v.find(name)) {
+          validate(*child, sub, path + "." + name, errors);
+        }
+      }
+    }
+  }
+  if (const Value* items = schema.find("items")) {
+    if (v.kind == Value::Kind::kArray) {
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        validate(v.array[i], *items, path + "[" + std::to_string(i) + "]",
+                 errors);
+      }
+    }
+  }
+}
+
+/// The conservation guarantee specific to windows artifacts.
+void check_windows_conservation(const Value& doc,
+                                std::vector<std::string>& errors) {
+  const Value* total = doc.find("total_energy_j");
+  const Value* windows = doc.find("windows");
+  if (total == nullptr || windows == nullptr) return;  // schema already flagged
+  double sum = 0.0;
+  for (const Value& w : windows->array) {
+    if (const Value* e = w.find("energy_total_j")) sum += e->number;
+  }
+  const double scale = std::max(std::abs(total->number), 1e-30);
+  const double rel = std::abs(sum - total->number) / scale;
+  if (rel > 1e-9) {
+    errors.push_back("windows: per-window energies sum to " +
+                     std::to_string(sum) + " J but total_energy_j is " +
+                     std::to_string(total->number) + " J (rel err " +
+                     std::to_string(rel) + " > 1e-9)");
+  }
+}
+
+Value parse_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot read ") + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parser(buf.str()).parse();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <schema-catalogue.json> <artifact.json>\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    const Value catalogue = parse_file(argv[1]);
+    const Value doc = parse_file(argv[2]);
+
+    const Value* id = doc.find("schema");
+    if (id == nullptr || id->kind != Value::Kind::kString) {
+      std::fprintf(stderr, "%s: no top-level \"schema\" string\n", argv[2]);
+      return 1;
+    }
+    const Value* schema = catalogue.find(id->string);
+    if (schema == nullptr) {
+      std::fprintf(stderr, "%s: unknown schema \"%s\"\n", argv[2],
+                   id->string.c_str());
+      return 1;
+    }
+
+    std::vector<std::string> errors;
+    validate(doc, *schema, "$", errors);
+    if (id->string == "ahbpower.windows.v1") {
+      check_windows_conservation(doc, errors);
+    }
+    if (!errors.empty()) {
+      for (const std::string& e : errors) {
+        std::fprintf(stderr, "%s: %s\n", argv[2], e.c_str());
+      }
+      return 1;
+    }
+    std::printf("%s: valid (%s)\n", argv[2], id->string.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
