@@ -9,6 +9,8 @@
 // enforces the observability contract's overhead guarantee: attaching a
 // *disabled* metrics registry must cost < 2% wall clock versus no
 // registry at all (min-of-N, interleaved A/B). Exit 1 on violation.
+// `bench_overhead --txn-guard` does the same for the transaction tracer:
+// compiled in but runtime-disabled must cost < 3% versus no tracer.
 
 #include <benchmark/benchmark.h>
 
@@ -109,6 +111,21 @@ void BM_PowerTelemetryWindows(benchmark::State& state) {
 }
 BENCHMARK(BM_PowerTelemetryWindows)->Unit(benchmark::kMillisecond);
 
+void BM_PowerTxnTrace(benchmark::State& state) {
+  // Per-transaction reconstruction and energy attribution on top of the
+  // base estimator.
+  std::size_t txns = 0;
+  for (auto _ : state) {
+    bench::PaperSystem sys({.txn_trace = true});
+    sys.run(kSimTime);
+    sys.est->flush_telemetry();
+    txns = sys.est->txn_tracer()->log().size();
+    benchmark::DoNotOptimize(txns);
+  }
+  state.counters["txns"] = static_cast<double>(txns);
+}
+BENCHMARK(BM_PowerTxnTrace)->Unit(benchmark::kMillisecond);
+
 // ---------------------------------------------------------------------------
 // --telemetry-guard: assert the disabled-registry overhead bound.
 
@@ -147,12 +164,54 @@ int run_telemetry_guard() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --txn-guard: assert the disabled-tracer overhead bound.
+
+double txn_wall_seconds_once(bool with_tracer) {
+  // 3x the benchmark duration per sample: the disabled tracer costs one
+  // branch, so the guard's enemy is scheduler noise, and longer samples
+  // average bursts out.
+  const auto t0 = std::chrono::steady_clock::now();
+  bench::PaperSystem sys({.txn_trace = with_tracer});
+  if (with_tracer) sys.est->txn_tracer()->set_enabled(false);
+  sys.run(kSimTime * 3);
+  benchmark::DoNotOptimize(sys.est->total_energy());
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+int run_txn_guard() {
+  constexpr int kReps = 13;
+  constexpr double kMaxDelta = 0.03;  // contract: < 3%
+  double base = std::numeric_limits<double>::infinity();
+  double off = std::numeric_limits<double>::infinity();
+  txn_wall_seconds_once(false);  // warm up code and allocator once
+  for (int i = 0; i < kReps; ++i) {
+    base = std::min(base, txn_wall_seconds_once(false));
+    off = std::min(off, txn_wall_seconds_once(true));
+  }
+  const double delta = (off - base) / base;
+  std::printf("txn-trace guard: baseline %.3f ms, disabled-tracer %.3f ms, "
+              "delta %+.2f%% (bound < %.0f%%)\n",
+              base * 1e3, off * 1e3, delta * 100.0, kMaxDelta * 100.0);
+  if (delta >= kMaxDelta) {
+    std::fputs("FAIL: disabled txn tracing exceeds the overhead bound\n",
+               stderr);
+    return 1;
+  }
+  std::puts("PASS");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--telemetry-guard") == 0) {
       return run_telemetry_guard();
+    }
+    if (std::strcmp(argv[i], "--txn-guard") == 0) {
+      return run_txn_guard();
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -27,6 +27,8 @@ struct PaperSystem {
     std::uint64_t seed2 = 202;
     /// Windowed power sampling granularity (0 = telemetry off).
     std::uint64_t telemetry_window_cycles = 0;
+    /// Reconstruct per-transaction spans with attributed energy.
+    bool txn_trace = false;
     /// Hot-path metrics sink (nullptr = no metrics).
     telemetry::MetricsRegistry* metrics = nullptr;
   };
@@ -55,6 +57,7 @@ struct PaperSystem {
           power::AhbPowerEstimator::Config{
               .trace_window = opt.trace_window,
               .telemetry_window_cycles = opt.telemetry_window_cycles,
+              .txn_trace = opt.txn_trace,
               .metrics = opt.metrics});
     }
   }

@@ -16,15 +16,26 @@ BusMonitor::BusMonitor(sim::Module* parent, std::string name, AhbBus& bus, Confi
       cfg_(cfg),
       proc_(this, "check", [this] { on_clock(); }) {
   proc_.sensitive(bus.clock().posedge_event()).dont_initialize();
+  if (cfg_.metrics != nullptr) {
+    c_violations_ = &cfg_.metrics->counter("ahb.monitor.violations");
+  }
 }
 
 void BusMonitor::violation(const std::string& what) {
-  violations_.push_back(what);
+  // Context prefix: where (cycle / sim time) and who (address-phase
+  // master, plus the selected data-phase slave when one is in flight).
+  std::string msg = "cycle " + std::to_string(stats_.cycles) + " @" +
+                    kernel().now().to_string() + " master " +
+                    std::to_string(bus_.bus().hmaster.read());
+  const std::uint8_t ds = bus_.pipeline().data_phase_slave().read();
+  if (ds != 0xFF) msg += " slave " + std::to_string(ds);
+  msg += ": " + what;
+  violations_.push_back(msg);
+  if (c_violations_ != nullptr) c_violations_->increment();
   if (cfg_.fatal) {
-    throw SimError("AHB protocol violation at " + kernel().now().to_string() + ": " +
-                   what);
+    throw SimError("AHB protocol violation at " + msg);
   }
-  sim::warn("ahb-protocol", what);
+  sim::warn("ahb-protocol", msg);
 }
 
 void BusMonitor::on_clock() {

@@ -12,6 +12,7 @@
 #include "ahb/bus.hpp"
 #include "sim/module.hpp"
 #include "sim/process.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ahbp::ahb {
 
@@ -22,6 +23,9 @@ public:
     /// Throw sim::SimError on the first violation (true) or just record
     /// it (false).
     bool fatal = true;
+    /// Optional metrics sink (not owned; must outlive the monitor).
+    /// Violations count into `ahb.monitor.violations`.
+    telemetry::MetricsRegistry* metrics = nullptr;
   };
 
   struct Stats {
@@ -43,12 +47,15 @@ public:
 
 private:
   void on_clock();
+  /// Records `what` prefixed with where it happened (cycle, sim time,
+  /// address-phase master, data-phase slave when one is selected).
   void violation(const std::string& what);
 
   AhbBus& bus_;
   Config cfg_;
   Stats stats_;
   std::vector<std::string> violations_;
+  telemetry::Counter* c_violations_ = nullptr;
 
   /// Snapshot of the previous cycle's settled values.
   struct Snapshot {

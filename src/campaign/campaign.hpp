@@ -38,6 +38,18 @@ struct PowerReport {
   std::uint64_t cycles = 0;        ///< sampled bus cycles
   std::uint64_t transfers = 0;     ///< completed transfers (0 if not tracked)
   std::map<std::string, double> metrics;  ///< free-form extras
+
+  /// One master's share of the run energy (transaction attribution).
+  struct MasterAttribution {
+    double energy_j = 0.0;     ///< joules attributed to this master
+    std::uint64_t txns = 0;    ///< completed transactions
+  };
+  /// Per-master attribution (index = master id); empty when the run did
+  /// not trace transactions. Rendered as the campaign.v2 report block.
+  std::vector<MasterAttribution> attribution;
+  /// Idle/handover energy owned by no transaction (the synthetic "bus"
+  /// owner). attribution energies + bus_energy_j == total_energy.
+  double bus_energy_j = 0.0;
 };
 
 /// One unit of campaign work: a factory that builds, runs and

@@ -35,7 +35,7 @@ void write_campaign_json(std::ostream& os,
   }
 
   os << "{\n";
-  os << "  \"schema\": \"ahbpower.campaign.v1\",\n";
+  os << "  \"schema\": \"ahbpower.campaign.v2\",\n";
   os << "  \"name\": \"" << json_escape(meta.name) << "\",\n";
   os << "  \"cycles\": " << meta.cycles << ",\n";
   os << "  \"threads\": " << meta.threads << ",\n";
@@ -56,6 +56,18 @@ void write_campaign_json(std::ostream& os,
        << ", \"dec\": " << json_number(r.blocks.dec)
        << ", \"m2s\": " << json_number(r.blocks.m2s)
        << ", \"s2m\": " << json_number(r.blocks.s2m) << "}";
+    if (!r.attribution.empty()) {
+      // v2 addition: per-master transaction attribution. v1 consumers
+      // that ignore unknown keys keep working; all v1 fields remain.
+      os << ", \"attribution\": {\"bus_energy_j\": "
+         << json_number(r.bus_energy_j) << ", \"masters\": [";
+      for (std::size_t m = 0; m < r.attribution.size(); ++m) {
+        if (m != 0) os << ", ";
+        os << "{\"energy_j\": " << json_number(r.attribution[m].energy_j)
+           << ", \"txns\": " << r.attribution[m].txns << "}";
+      }
+      os << "]}";
+    }
     os << ", \"metrics\": {";
     bool first = true;
     for (const auto& [key, value] : r.metrics) {

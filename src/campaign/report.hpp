@@ -6,8 +6,9 @@
 // order, per-run metric maps iterate in key order, and wall-clock
 // timings are excluded -- so two executions of the same campaign (any
 // thread count) produce byte-identical files. Structure is specified in
-// docs/OBSERVABILITY.md (schema "ahbpower.campaign.v1") and validated
-// in CI by tools/telemetry_validate.
+// docs/OBSERVABILITY.md (schema "ahbpower.campaign.v2"; v2 adds the
+// optional per-run "attribution" block and keeps every v1 field) and
+// validated in CI by tools/telemetry_validate.
 
 #include <iosfwd>
 #include <string>
@@ -25,9 +26,9 @@ struct CampaignReportMeta {
 };
 
 /// Writes the outcomes as one JSON document: header, one object per run
-/// (index, name, ok, cycles, transfers, energies, free-form metrics)
-/// and an aggregate block (run/failure counts, energy sum / min / max
-/// over successful runs).
+/// (index, name, ok, cycles, transfers, energies, optional per-master
+/// attribution, free-form metrics) and an aggregate block (run/failure
+/// counts, energy sum / min / max over successful runs).
 void write_campaign_json(std::ostream& os,
                          const std::vector<RunOutcome>& outcomes,
                          const CampaignReportMeta& meta);

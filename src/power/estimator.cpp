@@ -35,6 +35,12 @@ AhbPowerEstimator::AhbPowerEstimator(sim::Module* parent, std::string name,
             .tracks = {"arb", "dec", "m2s", "s2m"}});
     events_ = std::make_unique<telemetry::TraceEventLog>();
   }
+  if (cfg_.txn_trace) {
+    txn_ = std::make_unique<TransactionTracer>(
+        TransactionTracer::Config{.n_masters = bus.n_masters(),
+                                  .n_slaves = bus.n_slaves(),
+                                  .metrics = cfg_.metrics});
+  }
   if (cfg_.metrics != nullptr) {
     c_cycles_ = &cfg_.metrics->counter("ahb.power.sampled_cycles");
     h_cycle_energy_ = &cfg_.metrics->histogram(
@@ -58,6 +64,7 @@ CycleView AhbPowerEstimator::sample_view() const {
   v.hready = b.hready.read();
   v.hresp = b.hresp.read();
   v.hmaster = b.hmaster.read();
+  v.hmaster_data = b.hmaster_data.read();
   v.data_slave = bus_.pipeline().data_phase_slave().read();
   v.data_active = bus_.pipeline().data_phase_active().read();
   v.data_write = bus_.pipeline().data_phase_write().read();
@@ -73,6 +80,7 @@ void AhbPowerEstimator::on_cycle() {
   if (!cfg_.enabled) return;
   const CycleView v = sample_view();
   const PowerFsm::StepResult r = fsm_.step(v);
+  if (txn_) txn_->on_cycle(v, r.blocks);
   if (trace_) trace_->record(kernel().now(), r.blocks);
   if (windows_) {
     const std::uint64_t cycle = fsm_.cycles() - 1;
@@ -109,6 +117,7 @@ void AhbPowerEstimator::flush_telemetry() {
     }
     windows_->flush();
   }
+  if (txn_) txn_->flush();
   if (cfg_.metrics != nullptr && !metrics_published_) {
     fsm_.publish_metrics(*cfg_.metrics);
     metrics_published_ = true;

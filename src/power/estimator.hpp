@@ -21,6 +21,7 @@
 #include <string>
 
 #include "ahb/bus.hpp"
+#include "power/attribution.hpp"
 #include "power/power_fsm.hpp"
 #include "power/trace.hpp"
 #include "sim/module.hpp"
@@ -43,6 +44,9 @@ public:
     /// Window (in sampled bus cycles) for the telemetry series and the
     /// bus-instruction trace events; zero disables both.
     std::uint64_t telemetry_window_cycles = 0;
+    /// Reconstruct per-transaction spans and attribute block energies to
+    /// them (TransactionTracer); see docs/OBSERVABILITY.md.
+    bool txn_trace = false;
     /// Optional metrics registry (not owned; must outlive the
     /// estimator). The estimator maintains `ahb.power.sampled_cycles`
     /// and `ahb.power.cycle_energy_pj` live, and flush_telemetry()
@@ -71,6 +75,13 @@ public:
   [[nodiscard]] const telemetry::TraceEventLog* trace_events() const {
     return events_.get();
   }
+  /// Per-transaction tracer; nullptr unless Config::txn_trace was set.
+  /// flush_telemetry() closes in-flight transactions before you read it.
+  [[nodiscard]] const TransactionTracer* txn_tracer() const {
+    return txn_.get();
+  }
+  /// Mutable access (runtime set_enabled for overhead experiments).
+  [[nodiscard]] TransactionTracer* txn_tracer() { return txn_.get(); }
   /// Closes the trace's current window (call after the run, before
   /// reading the points).
   void flush_trace();
@@ -100,6 +111,7 @@ private:
   std::unique_ptr<PowerTrace> trace_;
   std::unique_ptr<telemetry::WindowSeries> windows_;
   std::unique_ptr<telemetry::TraceEventLog> events_;
+  std::unique_ptr<TransactionTracer> txn_;
   /// Current run of consecutive same-mode cycles (one trace slice).
   BusMode run_mode_ = BusMode::kIdle;
   std::uint64_t run_start_ = 0;

@@ -10,6 +10,8 @@
 //   PrivatePowerModel              -- "private" per-block style
 //   GlobalPowerAnalyzer + probe    -- "global" analyzer-module style
 //   PowerTrace                     -- power-vs-time windows (Figs 3-5)
+//   TransactionTracer,
+//   EnergyAttributor               -- per-transaction energy attribution
 //   report.hpp                     -- Table 1 / Fig 6 rendering
 //
 // Streaming observability (cycle-windowed series, trace events, metric
@@ -18,6 +20,7 @@
 
 #include "power/activity.hpp"
 #include "power/analytic.hpp"
+#include "power/attribution.hpp"
 #include "power/cosim.hpp"
 #include "power/estimator.hpp"
 #include "power/governor.hpp"

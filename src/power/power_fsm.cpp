@@ -12,8 +12,24 @@ const char* to_string(BusMode m) {
   return "?";
 }
 
+std::string_view instruction_view(BusMode from, BusMode to) {
+  // All 16 transition names, interned once: hot query paths hand out
+  // views instead of building a std::string per call.
+  static const std::array<std::string, 16> names = [] {
+    std::array<std::string, 16> t;
+    for (unsigned f = 0; f < 4; ++f) {
+      for (unsigned to_i = 0; to_i < 4; ++to_i) {
+        t[f * 4 + to_i] = std::string(to_string(static_cast<BusMode>(f))) +
+                          "_" + to_string(static_cast<BusMode>(to_i));
+      }
+    }
+    return t;
+  }();
+  return names[static_cast<unsigned>(from) * 4 + static_cast<unsigned>(to)];
+}
+
 std::string instruction_name(BusMode from, BusMode to) {
-  return std::string(to_string(from)) + "_" + to_string(to);
+  return std::string(instruction_view(from, to));
 }
 
 PowerFsm::PowerFsm(Config cfg)

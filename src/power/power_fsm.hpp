@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "gate/tech.hpp"
@@ -27,7 +28,10 @@ enum class BusMode : std::uint8_t { kIdle, kIdleHo, kRead, kWrite };
 
 [[nodiscard]] const char* to_string(BusMode m);
 /// Instruction name in the paper's style, e.g. "WRITE_READ",
-/// "IDLE_HO_IDLE_HO".
+/// "IDLE_HO_IDLE_HO". The 16 possible names are interned once in a
+/// static table; the view is valid for the program's lifetime.
+[[nodiscard]] std::string_view instruction_view(BusMode from, BusMode to);
+/// Owning copy of instruction_view() for callers that need a string.
 [[nodiscard]] std::string instruction_name(BusMode from, BusMode to);
 
 /// Per-sub-block energy amounts [J] (the paper's Fig. 6 quantities).
@@ -59,6 +63,7 @@ struct CycleView {
   bool hready = true;
   std::uint8_t hresp = 0;
   std::uint8_t hmaster = 0;
+  std::uint8_t hmaster_data = 0;  ///< data-phase bus owner
   std::uint8_t data_slave = 0xFF;
   bool data_active = false;
   bool data_write = false;
@@ -97,10 +102,10 @@ public:
     BusMode from;        ///< previous mode
     BusMode mode;        ///< mode of the cycle just classified
     BlockEnergy blocks;  ///< energy of this cycle per block
-    /// Executed instruction name (built on demand; the hot path carries
-    /// only the mode pair).
-    [[nodiscard]] std::string instruction() const {
-      return instruction_name(from, mode);
+    /// Executed instruction name (interned; the hot path carries only
+    /// the mode pair and the lookup allocates nothing).
+    [[nodiscard]] std::string_view instruction() const {
+      return instruction_view(from, mode);
     }
   };
 

@@ -126,16 +126,20 @@ void write_chrome_trace(std::ostream& os, const TraceEventLog& log,
   os << "{\"traceEvents\": [\n";
   os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
         "\"args\": {\"name\": \""
-     << json_escape(meta.process_name) << "\"}},\n";
-  os << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
-        "\"args\": {\"name\": \"bus instructions\"}}";
+     << json_escape(meta.process_name) << "\"}}";
+  for (const auto& [tid, label] : meta.threads) {
+    os << ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": "
+       << tid << ", \"args\": {\"name\": \"" << json_escape(label) << "\"}}";
+  }
   for (const TraceEvent& e : log.events()) {
     os << ",\n  {\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
-       << json_escape(e.category) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1"
-       << ", \"ts\": " << json_number(tick_to_us(e.start_tick, meta))
+       << json_escape(e.category) << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << e.tid << ", \"ts\": " << json_number(tick_to_us(e.start_tick, meta))
        << ", \"dur\": "
-       << json_number(static_cast<double>(e.dur_ticks) * meta.tick_ns * 1e-3)
-       << "}";
+       << json_number(static_cast<double>(e.dur_ticks) * meta.tick_ns * 1e-3);
+    if (!e.args_json.empty()) os << ", \"args\": " << e.args_json;
+    os << "}";
   }
   if (series != nullptr) {
     for (const auto& w : series->windows()) {

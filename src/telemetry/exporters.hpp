@@ -15,6 +15,7 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "telemetry/metrics.hpp"
@@ -38,6 +39,9 @@ namespace ahbp::telemetry {
 struct ExportMeta {
   double tick_ns = 10.0;                  ///< duration of one tick [ns]
   std::string process_name = "ahbpower";  ///< Chrome trace process label
+  /// Chrome trace thread tracks: (tid, label) pairs announced as
+  /// thread_name metadata. Events carry their own tid (default 1).
+  std::vector<std::pair<int, std::string>> threads = {{1, "bus instructions"}};
 };
 
 /// One completed duration event on the trace timeline (rendered as a
@@ -48,15 +52,28 @@ struct TraceEvent {
   std::string category;      ///< trace_event "cat", e.g. "bus"
   std::uint64_t start_tick = 0;
   std::uint64_t dur_ticks = 0;
+  int tid = 1;               ///< thread track (see ExportMeta::threads)
+  /// Pre-rendered JSON object for the event's "args" field (empty =
+  /// omitted). The producer owns its validity.
+  std::string args_json;
 };
 
-/// Append-only log of duration events, in non-decreasing start order.
+/// Append-only log of duration events. Within one tid, events nest by
+/// containment (Chrome trace "X" semantics); emit parents before
+/// children that share a start tick.
 class TraceEventLog {
 public:
   void add_complete(std::string name, std::string category,
                     std::uint64_t start_tick, std::uint64_t dur_ticks) {
     events_.push_back(TraceEvent{std::move(name), std::move(category),
-                                 start_tick, dur_ticks});
+                                 start_tick, dur_ticks, 1, {}});
+  }
+  void add_complete(std::string name, std::string category,
+                    std::uint64_t start_tick, std::uint64_t dur_ticks, int tid,
+                    std::string args_json) {
+    events_.push_back(TraceEvent{std::move(name), std::move(category),
+                                 start_tick, dur_ticks, tid,
+                                 std::move(args_json)});
   }
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }

@@ -1,6 +1,7 @@
 #include "telemetry/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/report.hpp"
 
@@ -20,6 +21,10 @@ Histogram::Histogram(const bool* enabled, std::vector<double> bounds)
 
 void Histogram::observe(double v) {
   if (!*enabled_) return;
+  // Rejection policy: NaN/inf and negative observations are dropped --
+  // every metric in the contract is a non-negative measurement, and a
+  // poisoned sum()/min() would silently corrupt the exported snapshot.
+  if (!std::isfinite(v) || v < 0.0) return;
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   if (count_ == 0) {

@@ -59,6 +59,9 @@ private:
 /// and fixed at registration.
 class Histogram {
 public:
+  /// Records one observation. NaN, +/-inf and negative values are
+  /// rejected (dropped without touching count/sum/min/max): the metric
+  /// contract covers non-negative measurements only.
   void observe(double v);
 
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }

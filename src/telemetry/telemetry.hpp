@@ -5,6 +5,7 @@
 //   Gauge, Histogram               -- named metrics, one-branch bypass
 //   WindowSeries                   -- fixed-window multi-track series
 //   TraceEventLog                  -- duration events for trace viewers
+//   TxnTraceLog, TxnRecord         -- per-transaction stream + exporters
 //   exporters.hpp                  -- CSV / JSON / Chrome trace_event
 //
 // The instrumentation contract (naming, window semantics, formats,
@@ -12,4 +13,5 @@
 
 #include "telemetry/exporters.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/txn_trace.hpp"
 #include "telemetry/window.hpp"

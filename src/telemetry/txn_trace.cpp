@@ -1,0 +1,93 @@
+#include "telemetry/txn_trace.hpp"
+
+#include <ostream>
+
+namespace ahbp::telemetry {
+
+namespace {
+
+/// One record as a compact JSON object (shared by write_txn_json).
+void write_record(std::ostream& os, const TxnRecord& r) {
+  os << "{\"id\": " << r.id << ", \"master\": " << r.master
+     << ", \"slave\": " << r.slave << ", \"kind\": \"" << json_escape(r.kind)
+     << "\", \"write\": " << (r.write ? "true" : "false")
+     << ", \"req_tick\": " << r.req_tick << ", \"start_tick\": " << r.start_tick
+     << ", \"end_tick\": " << r.end_tick << ", \"arb_cycles\": " << r.arb_cycles
+     << ", \"addr_cycles\": " << r.addr_cycles
+     << ", \"data_beats\": " << r.data_beats
+     << ", \"wait_cycles\": " << r.wait_cycles
+     << ", \"busy_cycles\": " << r.busy_cycles << ", \"retries\": " << r.retries
+     << ", \"splits\": " << r.splits << ", \"errors\": " << r.errors
+     << ", \"energy_j\": " << json_number(r.energy_j) << "}";
+}
+
+}  // namespace
+
+void write_txn_csv(std::ostream& os, const TxnTraceLog& log) {
+  os << "txn,master,slave,kind,write,req_tick,start_tick,end_tick,"
+        "arb_cycles,addr_cycles,data_beats,wait_cycles,busy_cycles,"
+        "retries,splits,errors,energy_j\n";
+  for (const TxnRecord& r : log.records()) {
+    os << r.id << ',' << r.master << ',' << r.slave << ',' << r.kind << ','
+       << (r.write ? 'W' : 'R') << ',' << r.req_tick << ',' << r.start_tick
+       << ',' << r.end_tick << ',' << r.arb_cycles << ',' << r.addr_cycles
+       << ',' << r.data_beats << ',' << r.wait_cycles << ',' << r.busy_cycles
+       << ',' << r.retries << ',' << r.splits << ',' << r.errors << ','
+       << json_number(r.energy_j) << '\n';
+  }
+}
+
+void write_txn_json(std::ostream& os, const TxnTraceLog& log,
+                    const TxnSummary& summary, const ExportMeta& meta) {
+  os << "{\n";
+  os << "  \"schema\": \"ahbpower.txns.v1\",\n";
+  os << "  \"tick_ns\": " << json_number(meta.tick_ns) << ",\n";
+  os << "  \"total_energy_j\": " << json_number(summary.total_energy_j)
+     << ",\n";
+  os << "  \"bus_energy_j\": " << json_number(summary.bus_energy_j) << ",\n";
+  os << "  \"masters\": [";
+  for (std::size_t m = 0; m < summary.master_energy_j.size(); ++m) {
+    if (m != 0) os << ", ";
+    const std::uint64_t txns =
+        m < summary.master_txns.size() ? summary.master_txns[m] : 0;
+    os << "{\"energy_j\": " << json_number(summary.master_energy_j[m])
+       << ", \"txns\": " << txns << "}";
+  }
+  os << "],\n";
+  os << "  \"slaves\": [";
+  for (std::size_t s = 0; s < summary.slave_energy_j.size(); ++s) {
+    if (s != 0) os << ", ";
+    os << "{\"energy_j\": " << json_number(summary.slave_energy_j[s]) << "}";
+  }
+  os << "],\n";
+  os << "  \"txns\": [";
+  for (std::size_t i = 0; i < log.records().size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    write_record(os, log.records()[i]);
+  }
+  os << "\n  ]\n}\n";
+}
+
+void append_txn_spans(TraceEventLog& spans, const TxnRecord& r) {
+  const int tid = txn_track_tid(r.master);
+  const std::uint64_t dur =
+      r.end_tick > r.req_tick ? r.end_tick - r.req_tick : 1;
+  std::string args = "{\"txn\": " + std::to_string(r.id) +
+                     ", \"slave\": " + std::to_string(r.slave) +
+                     ", \"beats\": " + std::to_string(r.data_beats) +
+                     ", \"waits\": " + std::to_string(r.wait_cycles) +
+                     ", \"retries\": " + std::to_string(r.retries) +
+                     ", \"energy_j\": " + json_number(r.energy_j) + "}";
+  spans.add_complete(r.kind + (r.write ? " WR" : " RD"), "txn", r.req_tick,
+                     dur, tid, std::move(args));
+  if (r.start_tick > r.req_tick) {
+    spans.add_complete("arb", "txn", r.req_tick, r.start_tick - r.req_tick,
+                       tid, {});
+  }
+  if (r.end_tick > r.start_tick) {
+    spans.add_complete("xfer", "txn", r.start_tick, r.end_tick - r.start_tick,
+                       tid, {});
+  }
+}
+
+}  // namespace ahbp::telemetry

@@ -1,0 +1,96 @@
+#pragma once
+// Transaction-scoped tracing: the record type, the append-only log, and
+// the deterministic exporters for per-transaction observability.
+//
+// A TxnRecord is one reconstructed bus transfer -- who owned it (master),
+// whom it addressed (slave), what shape it had (burst kind, direction)
+// and where its cycles went (arbitration wait, address phase, data
+// beats, wait states, BUSY beats, RETRY/SPLIT/ERROR rework) -- plus the
+// energy attributed to it by the power layer. The telemetry layer does
+// not reconstruct anything itself; producers (power::TransactionTracer)
+// fill records, this layer stores and renders them. Formats are
+// specified in docs/OBSERVABILITY.md and validated in CI against
+// tools/telemetry_schema.json (schema "ahbpower.txns.v1").
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/exporters.hpp"
+
+namespace ahbp::telemetry {
+
+/// One completed bus transaction, as reconstructed by a tracer.
+struct TxnRecord {
+  std::uint64_t id = 0;        ///< sequence number, in start order
+  unsigned master = 0;         ///< owning master index
+  unsigned slave = 0xFF;       ///< addressed slave index (0xFF = none seen)
+  std::string kind;            ///< burst kind, e.g. "SINGLE", "INCR4"
+  bool write = false;          ///< direction of the transfer
+  std::uint64_t req_tick = 0;    ///< first cycle the master waited for grant
+  std::uint64_t start_tick = 0;  ///< first address-phase cycle
+  std::uint64_t end_tick = 0;    ///< one past the last owned cycle
+  std::uint64_t arb_cycles = 0;  ///< request->first-address latency
+  std::uint64_t addr_cycles = 0; ///< cycles owning the address phase
+  std::uint64_t data_beats = 0;  ///< completed data-phase beats
+  std::uint64_t wait_cycles = 0; ///< data-phase cycles stalled by the slave
+  std::uint64_t busy_cycles = 0; ///< BUSY beats inserted by the master
+  std::uint32_t retries = 0;     ///< RETRY responses received
+  std::uint32_t splits = 0;      ///< SPLIT responses received
+  std::uint32_t errors = 0;      ///< ERROR responses received
+  double energy_j = 0.0;         ///< energy attributed to this transaction [J]
+};
+
+/// Append-only log of completed transactions, in completion order.
+class TxnTraceLog {
+public:
+  void add(TxnRecord r) { records_.push_back(std::move(r)); }
+  [[nodiscard]] const std::vector<TxnRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+private:
+  std::vector<TxnRecord> records_;
+};
+
+/// Attribution totals accompanying a transaction stream: how the run's
+/// energy splits across masters, slaves and the synthetic "bus" owner
+/// (idle / handover cycles nobody's transaction owns). Conservation
+/// contract: sum of per-record energy_j plus bus_energy_j equals
+/// total_energy_j within 1e-9 relative error (docs/OBSERVABILITY.md).
+struct TxnSummary {
+  double total_energy_j = 0.0;            ///< the estimator's run total
+  double bus_energy_j = 0.0;              ///< idle/handover (bus-owned)
+  std::vector<double> master_energy_j;    ///< per-master attributed energy
+  std::vector<std::uint64_t> master_txns; ///< per-master transaction counts
+  std::vector<double> slave_energy_j;     ///< per-slave attributed energy
+};
+
+/// Writes the transaction stream as CSV, one row per record:
+///   txn,master,slave,kind,write,req_tick,start_tick,end_tick,
+///   arb_cycles,addr_cycles,data_beats,wait_cycles,busy_cycles,
+///   retries,splits,errors,energy_j
+void write_txn_csv(std::ostream& os, const TxnTraceLog& log);
+
+/// Writes the transaction stream as a JSON document (schema
+/// "ahbpower.txns.v1"): header (tick_ns, per-master / per-slave
+/// attribution totals, bus_energy_j, total_energy_j) plus one object
+/// per transaction.
+void write_txn_json(std::ostream& os, const TxnTraceLog& log,
+                    const TxnSummary& summary, const ExportMeta& meta);
+
+/// Appends one transaction's Chrome-trace spans to `spans`: an outer
+/// slice covering [req_tick, end_tick) on the master's track
+/// (tid = master + 2, clear of the bus-instruction track at tid 1),
+/// with nested "arb" and "xfer" child slices and the record's counters
+/// as args. Render the log with write_chrome_trace; name the tracks via
+/// ExportMeta::threads.
+void append_txn_spans(TraceEventLog& spans, const TxnRecord& r);
+
+/// The Chrome-trace thread id carrying a master's transaction spans.
+[[nodiscard]] constexpr int txn_track_tid(unsigned master) {
+  return static_cast<int>(master) + 2;
+}
+
+}  // namespace ahbp::telemetry

@@ -135,6 +135,39 @@ TEST(Monitor, CatchesBusyOutsideBurst) {
   EXPECT_TRUE(found);
 }
 
+TEST(Monitor, ViolationMessagesCarryContext) {
+  Bench b;
+  SeqFirstMaster bad(&b.top, b.bus);
+  MemorySlave mem(&b.top, "mem", b.bus, {.base = 0, .size = 0x1000});
+  b.bus.finalize();
+  BusMonitor::Config cfg{.fatal = false};
+  BusMonitor mon(&b.top, "mon", b.bus, cfg);
+  b.run_cycles(20);
+  ASSERT_FALSE(mon.violations().empty());
+  // Every recorded violation says where (cycle, sim time) and who
+  // (address-phase master) before what went wrong.
+  for (const auto& v : mon.violations()) {
+    EXPECT_EQ(v.find("cycle "), 0u) << v;
+    EXPECT_NE(v.find(" @"), std::string::npos) << v;
+    EXPECT_NE(v.find(" master "), std::string::npos) << v;
+    EXPECT_NE(v.find(": "), std::string::npos) << v;
+  }
+}
+
+TEST(Monitor, ViolationCounterTracksMetricsRegistry) {
+  Bench b;
+  SeqFirstMaster bad(&b.top, b.bus);
+  MemorySlave mem(&b.top, "mem", b.bus, {.base = 0, .size = 0x1000});
+  b.bus.finalize();
+  telemetry::MetricsRegistry metrics;
+  BusMonitor::Config cfg{.fatal = false, .metrics = &metrics};
+  BusMonitor mon(&b.top, "mon", b.bus, cfg);
+  b.run_cycles(20);
+  ASSERT_FALSE(mon.violations().empty());
+  EXPECT_EQ(metrics.counter("ahb.monitor.violations").value(),
+            mon.violations().size());
+}
+
 TEST(Monitor, FatalModeThrowsOnFirstViolation) {
   Bench b;
   SeqFirstMaster bad(&b.top, b.bus);

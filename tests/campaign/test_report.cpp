@@ -43,7 +43,7 @@ TEST(CampaignReport, GoldenStructure) {
   const auto outcomes = pool.run({synthetic_spec("a", 1.5)});
   EXPECT_EQ(render(outcomes, 1),
             "{\n"
-            "  \"schema\": \"ahbpower.campaign.v1\",\n"
+            "  \"schema\": \"ahbpower.campaign.v2\",\n"
             "  \"name\": \"test\",\n"
             "  \"cycles\": 100,\n"
             "  \"threads\": 1,\n"
@@ -57,6 +57,33 @@ TEST(CampaignReport, GoldenStructure) {
             "\"total_energy_j\": 1.5, \"min_energy_j\": 1.5, "
             "\"max_energy_j\": 1.5}\n"
             "}\n");
+}
+
+TEST(CampaignReport, AttributionBlockRendersWhenPopulated) {
+  RunSpec spec{"attr", [] {
+                 PowerReport r;
+                 r.total_energy = 2.0;
+                 r.cycles = 10;
+                 r.bus_energy_j = 0.5;
+                 r.attribution = {{1.0, 7}, {0.5, 3}};
+                 return r;
+               }};
+  const Campaign pool(Campaign::Config{.threads = 1});
+  const std::string json = render(pool.run({std::move(spec)}), 1);
+  EXPECT_NE(json.find("\"attribution\": {\"bus_energy_j\": 0.5, \"masters\": "
+                      "[{\"energy_j\": 1, \"txns\": 7}, "
+                      "{\"energy_j\": 0.5, \"txns\": 3}]}"),
+            std::string::npos)
+      << json;
+  // v1 fields survive alongside the v2 addition.
+  EXPECT_NE(json.find("\"total_energy_j\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"blocks_j\": "), std::string::npos);
+}
+
+TEST(CampaignReport, NoAttributionBlockWithoutData) {
+  const Campaign pool(Campaign::Config{.threads = 1});
+  const std::string json = render(pool.run({synthetic_spec("a", 1.0)}), 1);
+  EXPECT_EQ(json.find("\"attribution\""), std::string::npos);
 }
 
 TEST(CampaignReport, CapturesFailures) {

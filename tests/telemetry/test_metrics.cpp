@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <sstream>
+
 #include "sim/report.hpp"
+#include "telemetry/exporters.hpp"
 
 namespace ahbp::telemetry {
 namespace {
@@ -69,6 +73,53 @@ TEST(Histogram, EmptyStatsAreZero) {
   EXPECT_DOUBLE_EQ(h.min(), 0.0);
   EXPECT_DOUBLE_EQ(h.max(), 0.0);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ExactBoundValuesLandInTheirBucket) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.bounds", {0.0, 1.0, 2.0});
+  h.observe(0.0);  // == first bound: inclusive, not negative
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(2.0000001);  // just past the last bound -> overflow
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(Histogram, RejectsNonFiniteAndNegativeObservations) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.reject", {1.0, 2.0});
+  h.observe(1.5);
+
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  h.observe(-0.5);
+
+  // Dropped without touching any statistic.
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1.5);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[0] + h.counts()[2], 0u);
+
+  h.observe(0.5);  // still accepts valid values afterwards
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, EmptyHistogramExportsZeroStats) {
+  MetricsRegistry reg;
+  (void)reg.histogram("test.never_observed", {1.0, 2.0});
+  std::ostringstream os;
+  write_metrics_json(os, reg);
+  EXPECT_NE(os.str().find("\"test.never_observed\": {\"bounds\": [1, 2], "
+                          "\"counts\": [0, 0, 0], \"count\": 0, \"sum\": 0, "
+                          "\"min\": 0, \"max\": 0}"),
+            std::string::npos);
 }
 
 TEST(Histogram, RejectsBadBounds) {

@@ -12,6 +12,9 @@
 //     --telemetry DIR   write windowed power series (CSV + JSON), a
 //                       Chrome trace_event file and a metrics snapshot
 //                       into DIR (campaign.json in --sweep mode)
+//     --txn-trace       also reconstruct per-transaction spans with
+//                       attributed energy: txns.csv, txns.json and
+//                       txn_trace.json in DIR (requires --telemetry)
 //     --table           print the instruction table
 //     --breakdown       print the sub-block breakdown
 //     --attribution     print per-master energy attribution
@@ -61,6 +64,7 @@ struct Options {
   bool activity = false;
   bool quiet = false;
   bool sweep = false;
+  bool txn_trace = false;
   unsigned jobs = 0;
   std::string csv;
   std::string trace_out;
@@ -71,7 +75,7 @@ struct Options {
   std::fprintf(stderr,
                "usage: %s [--cycles N] [--masters N] [--slaves N] [--waits N]\n"
                "          [--policy fixed|rr] [--seed N] [--window CYCLES]\n"
-               "          [--telemetry DIR]\n"
+               "          [--telemetry DIR] [--txn-trace]\n"
                "          [--table] [--breakdown] [--attribution] [--activity]\n"
                "          [--csv FILE] [--trace-out FILE] [--quiet]\n"
                "          [--sweep] [--jobs N]\n",
@@ -110,6 +114,8 @@ Options parse(int argc, char** argv) {
       o.window_cycles = std::strtoull(need_value(i), nullptr, 0);
     } else if (a == "--telemetry") {
       o.telemetry_dir = need_value(i);
+    } else if (a == "--txn-trace") {
+      o.txn_trace = true;
     } else if (a == "--table") {
       o.table = true;
     } else if (a == "--breakdown") {
@@ -137,6 +143,10 @@ Options parse(int argc, char** argv) {
   }
   if (!o.csv.empty() && o.window_cycles == 0) {
     std::fputs("--csv requires --window\n", stderr);
+    std::exit(2);
+  }
+  if (o.txn_trace && o.telemetry_dir.empty() && !o.sweep) {
+    std::fputs("--txn-trace requires --telemetry DIR\n", stderr);
     std::exit(2);
   }
   // Telemetry needs a window; default to the 1000-cycle granularity of
@@ -197,9 +207,12 @@ campaign::RunSpec sweep_spec(const Options& o, ahb::ArbitrationPolicy policy,
             bus.finalize();
             ahb::BusMonitor mon(&top, "monitor", bus,
                                 ahb::BusMonitor::Config{.fatal = false});
-            power::AhbPowerEstimator est(&top, "power", bus);
+            power::AhbPowerEstimator est(
+                &top, "power", bus,
+                power::AhbPowerEstimator::Config{.txn_trace = true});
             kernel.run(sim::SimTime::ns(kClockNs) *
                        static_cast<std::int64_t>(run.cycles));
+            est.flush_telemetry();
 
             campaign::PowerReport r;
             r.total_energy = est.total_energy();
@@ -208,6 +221,13 @@ campaign::RunSpec sweep_spec(const Options& o, ahb::ArbitrationPolicy policy,
             r.transfers = mon.stats().transfers;
             r.metrics["data_share"] = power::data_transfer_share(est.fsm());
             r.metrics["arb_share"] = power::arbitration_share(est.fsm());
+            const power::TransactionTracer& txn = *est.txn_tracer();
+            r.bus_energy_j = txn.attribution().bus_energy();
+            for (unsigned m = 0; m <= run.masters; ++m) {
+              r.attribution.push_back(
+                  {txn.attribution().master_energy()[m],
+                   txn.master_txns()[m]});
+            }
             return r;
           }};
 }
@@ -290,9 +310,10 @@ int main(int argc, char** argv) {
   }
   bus.finalize();
 
-  ahb::BusMonitor::Config mon_cfg{.fatal = false};
-  ahb::BusMonitor mon(&top, "monitor", bus, mon_cfg);
   const bool telemetry_on = !o.telemetry_dir.empty();
+  ahb::BusMonitor::Config mon_cfg{.fatal = false,
+                                  .metrics = telemetry_on ? &metrics : nullptr};
+  ahb::BusMonitor mon(&top, "monitor", bus, mon_cfg);
   power::AhbPowerEstimator est(
       &top, "power", bus,
       power::AhbPowerEstimator::Config{
@@ -301,6 +322,7 @@ int main(int argc, char** argv) {
                     static_cast<std::int64_t>(o.window_cycles)
               : sim::SimTime::zero(),
           .telemetry_window_cycles = telemetry_on ? o.window_cycles : 0,
+          .txn_trace = o.txn_trace,
           .metrics = telemetry_on ? &metrics : nullptr});
   std::unique_ptr<ahb::TraceRecorder> recorder;
   if (!o.trace_out.empty()) {
@@ -337,6 +359,30 @@ int main(int argc, char** argv) {
       telemetry::write_chrome_trace(out, *est.trace_events(), est.windows(),
                                     meta);
     }
+    if (o.txn_trace) {
+      const power::TransactionTracer& txn = *est.txn_tracer();
+      {
+        std::ofstream out = open_output(o.telemetry_dir, "txns.csv");
+        telemetry::write_txn_csv(out, txn.log());
+      }
+      {
+        std::ofstream out = open_output(o.telemetry_dir, "txns.json");
+        telemetry::write_txn_json(out, txn.log(),
+                                  txn.summary(est.total_energy()), meta);
+      }
+      {
+        // Per-master span tracks named after the module hierarchy.
+        telemetry::ExportMeta txn_meta = meta;
+        txn_meta.threads.emplace_back(telemetry::txn_track_tid(0),
+                                      "default_master");
+        for (unsigned m = 0; m < o.masters; ++m) {
+          txn_meta.threads.emplace_back(telemetry::txn_track_tid(m + 1),
+                                        "m" + std::to_string(m + 1));
+        }
+        std::ofstream out = open_output(o.telemetry_dir, "txn_trace.json");
+        telemetry::write_chrome_trace(out, txn.spans(), nullptr, txn_meta);
+      }
+    }
     {
       // Run-level and scheduler-level context beside the power metrics.
       metrics.counter("run.transfers").add(mon.stats().transfers);
@@ -353,8 +399,9 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "telemetry written to %s (power_windows.csv, power_windows.json, "
-        "trace.json, metrics.json; window = %llu cycles)\n",
+        "trace.json, metrics.json%s; window = %llu cycles)\n",
         o.telemetry_dir.c_str(),
+        o.txn_trace ? ", txns.csv, txns.json, txn_trace.json" : "",
         static_cast<unsigned long long>(o.window_cycles));
   }
   if (o.quiet) return 0;

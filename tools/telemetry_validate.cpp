@@ -13,7 +13,12 @@
 //
 // For "ahbpower.windows.v1" artifacts it additionally enforces the
 // conservation guarantee from docs/OBSERVABILITY.md: per-window energies
-// must sum to total_energy_j within 1e-9 relative error.
+// must sum to total_energy_j within 1e-9 relative error. For
+// "ahbpower.txns.v1" the analogous guarantee is enforced twice over:
+// per-transaction energies + bus_energy_j == total_energy_j, and
+// per-master attributed energies + bus_energy_j == total_energy_j. For
+// "ahbpower.campaign.v2" every run carrying an attribution block must
+// satisfy attributed master energies + bus_energy_j == total_energy_j.
 //
 // Exit 0 when valid, 1 on a contract violation, 2 on bad usage / I/O.
 
@@ -310,6 +315,74 @@ void check_windows_conservation(const Value& doc,
   }
 }
 
+/// Relative deviation of `sum` from `total` (guarding tiny totals).
+double rel_err(double sum, double total) {
+  return std::abs(sum - total) / std::max(std::abs(total), 1e-30);
+}
+
+/// The conservation guarantees specific to transaction-stream artifacts.
+void check_txns_conservation(const Value& doc,
+                             std::vector<std::string>& errors) {
+  const Value* total = doc.find("total_energy_j");
+  const Value* bus = doc.find("bus_energy_j");
+  if (total == nullptr || bus == nullptr) return;  // schema already flagged
+
+  if (const Value* txns = doc.find("txns")) {
+    double sum = bus->number;
+    for (const Value& t : txns->array) {
+      if (const Value* e = t.find("energy_j")) sum += e->number;
+    }
+    const double rel = rel_err(sum, total->number);
+    if (rel > 1e-9) {
+      errors.push_back("txns: per-transaction energies + bus_energy_j sum to " +
+                       std::to_string(sum) + " J but total_energy_j is " +
+                       std::to_string(total->number) + " J (rel err " +
+                       std::to_string(rel) + " > 1e-9)");
+    }
+  }
+  if (const Value* masters = doc.find("masters")) {
+    double sum = bus->number;
+    for (const Value& m : masters->array) {
+      if (const Value* e = m.find("energy_j")) sum += e->number;
+    }
+    const double rel = rel_err(sum, total->number);
+    if (rel > 1e-9) {
+      errors.push_back("masters: attributed energies + bus_energy_j sum to " +
+                       std::to_string(sum) + " J but total_energy_j is " +
+                       std::to_string(total->number) + " J (rel err " +
+                       std::to_string(rel) + " > 1e-9)");
+    }
+  }
+}
+
+/// Per-run attribution conservation for campaign.v2 artifacts.
+void check_campaign_attribution(const Value& doc,
+                                std::vector<std::string>& errors) {
+  const Value* runs = doc.find("runs");
+  if (runs == nullptr) return;
+  for (std::size_t i = 0; i < runs->array.size(); ++i) {
+    const Value& run = runs->array[i];
+    const Value* attribution = run.find("attribution");
+    const Value* total = run.find("total_energy_j");
+    if (attribution == nullptr || total == nullptr) continue;
+    const Value* bus = attribution->find("bus_energy_j");
+    const Value* masters = attribution->find("masters");
+    if (bus == nullptr || masters == nullptr) continue;
+    double sum = bus->number;
+    for (const Value& m : masters->array) {
+      if (const Value* e = m.find("energy_j")) sum += e->number;
+    }
+    const double rel = rel_err(sum, total->number);
+    if (rel > 1e-9) {
+      errors.push_back("runs[" + std::to_string(i) +
+                       "].attribution: master energies + bus_energy_j sum to " +
+                       std::to_string(sum) + " J but total_energy_j is " +
+                       std::to_string(total->number) + " J (rel err " +
+                       std::to_string(rel) + " > 1e-9)");
+    }
+  }
+}
+
 Value parse_file(const char* path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error(std::string("cannot read ") + path);
@@ -346,6 +419,12 @@ int main(int argc, char** argv) {
     validate(doc, *schema, "$", errors);
     if (id->string == "ahbpower.windows.v1") {
       check_windows_conservation(doc, errors);
+    }
+    if (id->string == "ahbpower.txns.v1") {
+      check_txns_conservation(doc, errors);
+    }
+    if (id->string == "ahbpower.campaign.v2") {
+      check_campaign_attribution(doc, errors);
     }
     if (!errors.empty()) {
       for (const std::string& e : errors) {
