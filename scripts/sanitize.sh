@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Sanitizer ctest job: configure a dedicated build tree with
+# AddressSanitizer + UBSan (-DAHBP_SANITIZE=ON), build everything, and
+# run the full test suite under the instrumented binaries.
+#
+#   scripts/sanitize.sh [build-dir]    (default: build-asan)
+#
+# Exits non-zero if the build fails or any test trips a sanitizer.
+# See docs/ROBUSTNESS.md.
+set -eu
+
+BUILD_DIR="${1:-build-asan}"
+SRC_DIR="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+
+cmake -S "$SRC_DIR" -B "$BUILD_DIR" -DAHBP_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)"
+# halt_on_error: make ASan findings fail the test immediately, like the
+# -fno-sanitize-recover UBSan flags already do.
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure

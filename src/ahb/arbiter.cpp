@@ -44,17 +44,33 @@ std::uint32_t Arbiter::request_vector() const {
   return v;
 }
 
+void Arbiter::split(unsigned m) {
+  if (m >= reqs_.size()) throw SimError("arbiter: split index out of range");
+  if (!is_split(m)) {
+    split_mask_ |= 1u << m;
+    ++splits_;
+  }
+}
+
+void Arbiter::resume(unsigned m) {
+  if (m >= reqs_.size()) throw SimError("arbiter: resume index out of range");
+  split_mask_ &= ~(1u << m);
+}
+
 unsigned Arbiter::pick_next() const {
+  // Split-masked masters never win arbitration; the default master is
+  // the fallback even while masked (it never drives transfers, so a mask
+  // on it cannot occur in practice).
   switch (policy_) {
     case ArbitrationPolicy::kFixedPriority:
       for (unsigned m = 0; m < reqs_.size(); ++m) {
-        if (reqs_[m]->read()) return m;
+        if (reqs_[m]->read() && !is_split(m)) return m;
       }
       return default_master_;
     case ArbitrationPolicy::kRoundRobin:
       for (unsigned off = 1; off <= reqs_.size(); ++off) {
         const unsigned m = (current_ + off) % static_cast<unsigned>(reqs_.size());
-        if (reqs_[m]->read()) return m;
+        if (reqs_[m]->read() && !is_split(m)) return m;
       }
       return default_master_;
   }
@@ -68,9 +84,14 @@ void Arbiter::arbitrate() {
   // WRITE-READ sequences non-interruptible and closes the race where a
   // grant moves in the same cycle the new owner launches its first
   // address phase.
+  //
+  // A split-masked owner is the exception: its request must not hold the
+  // bus (that is the point of the mask), so the owner-keeps-bus rule is
+  // bypassed and the grant moves at the first ready+IDLE cycle after the
+  // SPLIT response completes.
   if (!bus_.hready.read()) return;
   if (static_cast<Trans>(bus_.htrans.read()) != Trans::kIdle) return;
-  if (reqs_[current_]->read()) return;
+  if (reqs_[current_]->read() && !is_split(current_)) return;
   const unsigned next = pick_next();
   if (next == current_) return;
   grants_[current_]->write(false);

@@ -49,9 +49,28 @@ public:
   /// Current HBUSREQ lines packed as a bit vector (bit m = master m).
   [[nodiscard]] std::uint32_t request_vector() const;
 
+  /// @name SPLIT support (HSPLITx-style master masking)
+  ///@{
+  /// Masks master `m`: its requests are ignored by arbitration until
+  /// resume(m). Called by a slave in the cycle it issues a SPLIT
+  /// response; the current owner being masked forces a handover at the
+  /// next arbitration point even though it still requests the bus.
+  void split(unsigned m);
+  /// Unmasks master `m` (the slave's HSPLITx resume signal); the master
+  /// competes for the bus again from the next arbitration cycle.
+  void resume(unsigned m);
+  /// Currently masked masters packed as a bit vector (bit m = master m).
+  [[nodiscard]] std::uint32_t split_mask() const { return split_mask_; }
+  /// Total SPLIT masks ever applied.
+  [[nodiscard]] std::uint64_t split_count() const { return splits_; }
+  ///@}
+
 private:
   void arbitrate();
   [[nodiscard]] unsigned pick_next() const;
+  [[nodiscard]] bool is_split(unsigned m) const {
+    return (split_mask_ >> m) & 1u;
+  }
 
   sim::Clock& clk_;
   BusSignals& bus_;
@@ -59,6 +78,8 @@ private:
   unsigned default_master_;
   unsigned current_ = 0;
   std::uint64_t handovers_ = 0;
+  std::uint32_t split_mask_ = 0;
+  std::uint64_t splits_ = 0;
   std::vector<sim::Signal<bool>*> reqs_;
   std::vector<std::unique_ptr<sim::Signal<bool>>> grants_;
   std::unique_ptr<sim::Method> proc_;

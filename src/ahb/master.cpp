@@ -224,9 +224,20 @@ Task ScriptedMaster::body() {
         } while (!bus.hready.read());
         resp = static_cast<Resp>(bus.hresp.read());
         rdata = bus.hrdata.read();
-        if (resp == Resp::kRetry && attempts < opts_.max_retries) {
+        if ((resp == Resp::kRetry || resp == Resp::kSplit) &&
+            attempts < opts_.max_retries) {
           ++attempts;
           ++retries_;
+          if (resp == Resp::kSplit) {
+            ++splits_;
+            // The arbiter has masked this master: the grant signal still
+            // reads its stale pre-handover value at this edge, so wait at
+            // least one edge, then hold until the HSPLITx resume
+            // re-grants the bus.
+            do {
+              co_await wait(edge);
+            } while (!(granted() && bus.hready.read()));
+          }
           continue;
         }
         break;

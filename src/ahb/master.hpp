@@ -115,11 +115,13 @@ public:
   };
 
   struct Options {
-    /// Re-issue transfers that receive a RETRY response. Retrying
-    /// masters run their transfers serialized (one in flight) so a
-    /// retried transfer has no pipelined successor to cancel.
+    /// Re-issue transfers that receive a RETRY or SPLIT response.
+    /// Retrying masters run their transfers serialized (one in flight)
+    /// so a re-issued transfer has no pipelined successor to cancel.
+    /// After a SPLIT the master is masked at the arbiter; the re-issue
+    /// waits for the re-grant (the HSPLITx resume).
     bool retry = false;
-    unsigned max_retries = 8;  ///< per transfer; then the RETRY is recorded
+    unsigned max_retries = 8;  ///< per transfer; then the response is recorded
   };
 
   ScriptedMaster(sim::Module* parent, std::string name, AhbBus& bus,
@@ -130,8 +132,10 @@ public:
   /// One entry per completed kWrite/kRead op, in script order.
   [[nodiscard]] const std::vector<Result>& results() const { return results_; }
   [[nodiscard]] bool finished() const { return thread_.done(); }
-  /// Number of RETRY-triggered re-issues performed.
+  /// Number of RETRY/SPLIT-triggered re-issues performed.
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  /// Number of SPLIT responses absorbed (subset of retries()).
+  [[nodiscard]] std::uint64_t splits() const { return splits_; }
 
 private:
   sim::Task body();
@@ -140,6 +144,7 @@ private:
   Options opts_;
   std::vector<Result> results_;
   std::uint64_t retries_ = 0;
+  std::uint64_t splits_ = 0;
   sim::Thread thread_;
 };
 

@@ -62,6 +62,8 @@ void BusMonitor::on_clock() {
   if (htrans == Trans::kIdle) ++stats_.idle_cycles;
   if (prev_.valid && hmaster != prev_.hmaster) ++stats_.handovers;
   if (hresp == Resp::kError && hready) ++stats_.error_responses;
+  if (hresp == Resp::kRetry && hready) ++stats_.retry_responses;
+  if (hresp == Resp::kSplit && hready) ++stats_.split_responses;
 
   // --- protocol checks ----------------------------------------------------
   // Exactly one grant must be asserted.
@@ -76,6 +78,37 @@ void BusMonitor::on_clock() {
   // The bus must be ready whenever no data phase is in flight.
   if (!data_active && !hready) {
     violation("HREADY low with no data phase in flight");
+  }
+
+  // A non-OKAY response only makes sense against an in-flight data phase.
+  if (hresp != Resp::kOkay && !data_active) {
+    violation("non-OKAY HRESP with no data phase in flight");
+  }
+
+  // Two-cycle response rule: the first RETRY/ERROR/SPLIT cycle must
+  // drive HREADY low (so pipelined masters can cancel the following
+  // address phase); the second must keep the same HRESP and raise
+  // HREADY; there is no third cycle.
+  const bool first_resp_cycle =
+      hresp != Resp::kOkay && (!prev_.valid || prev_.hresp == Resp::kOkay);
+  if (first_resp_cycle && hready) {
+    violation("single-cycle " + std::string(to_string(hresp)) +
+              " response (HREADY must be low on the first cycle)");
+  }
+  if (prev_.valid && prev_.hresp != Resp::kOkay && !prev_.hready) {
+    if (hresp != prev_.hresp) {
+      violation("HRESP changed between the two response cycles");
+    }
+    if (!hready) {
+      violation("two-cycle " + std::string(to_string(hresp)) +
+                " response stretched beyond two cycles");
+    }
+  }
+
+  // Split-mask discipline: a masked master must never (re)gain the bus.
+  if (prev_.valid && hmaster != prev_.hmaster &&
+      ((bus_.arbiter().split_mask() >> hmaster) & 1u) != 0) {
+    violation("split-masked master granted the bus");
   }
 
   if (prev_.valid) {
@@ -120,6 +153,7 @@ void BusMonitor::on_clock() {
   prev_.hmaster = hmaster;
   prev_.hburst = static_cast<Burst>(b.hburst.read());
   prev_.hsize = static_cast<Size>(b.hsize.read());
+  prev_.hresp = hresp;
 }
 
 }  // namespace ahbp::ahb

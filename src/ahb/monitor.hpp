@@ -37,6 +37,8 @@ public:
     std::uint64_t idle_cycles = 0;   ///< address phase IDLE
     std::uint64_t handovers = 0;     ///< HMASTER changes
     std::uint64_t error_responses = 0;
+    std::uint64_t retry_responses = 0;  ///< completed RETRY responses
+    std::uint64_t split_responses = 0;  ///< completed SPLIT responses
   };
 
   BusMonitor(sim::Module* parent, std::string name, AhbBus& bus);
@@ -67,6 +69,7 @@ private:
     std::uint8_t hmaster = 0;
     Burst hburst = Burst::kSingle;
     Size hsize = Size::kWord;
+    Resp hresp = Resp::kOkay;
   };
   Snapshot prev_;
 

@@ -7,6 +7,26 @@ namespace ahbp::ahb {
 
 using sim::SimError;
 
+namespace {
+
+/// Counts down outstanding HSPLITx resumes, unmasking each master at the
+/// arbiter when its countdown expires. Order within a cycle is
+/// irrelevant: resumes only toggle independent mask bits.
+void tick_resumes(std::vector<std::pair<unsigned, unsigned>>& pending,
+                  Arbiter& arb) {
+  for (std::size_t i = 0; i < pending.size();) {
+    if (--pending[i].second == 0) {
+      arb.resume(pending[i].first);
+      pending[i] = pending.back();
+      pending.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // AhbSlave
 
@@ -48,6 +68,20 @@ void MemorySlave::poke(std::uint32_t addr, std::uint32_t value) {
 void MemorySlave::on_clock() {
   BusSignals& bus = bus_signals();
 
+  // 0. Progress outstanding SPLIT resumes and a two-cycle fault response.
+  if (!pending_resumes_.empty()) tick_resumes(pending_resumes_, bus_.arbiter());
+  if (resp_phase_ == RespPhase::kFail1) {
+    // First failure cycle (HREADY low, HRESP set) done: raise HREADY.
+    sig_.hreadyout.write(true);
+    resp_phase_ = RespPhase::kFail2;
+    return;  // cannot accept a new address phase mid-response
+  }
+  if (resp_phase_ == RespPhase::kFail2) {
+    // Second failure cycle done: back to OKAY, ready for a new transfer.
+    sig_.hresp.write(raw(Resp::kOkay));
+    resp_phase_ = RespPhase::kNone;
+  }
+
   // 1. Complete a data phase that we signalled ready for: a write
   //    captures HWDATA, which the master drove during the cycle that just
   //    ended.
@@ -80,15 +114,60 @@ void MemorySlave::on_clock() {
                       bus.hready.read();
   if (!accept) return;
 
-  busy_ = true;
   op_write_ = bus.hwrite.read();
   op_addr_ = bus.haddr.read();
-  if (cfg_.wait_states == 0) {
+
+  // 3a. Consult the fault hook: a non-OKAY verdict turns this transfer
+  //     into a two-cycle protocol response instead of a data phase.
+  FaultDecision fault;
+  if (cfg_.fault_hook) {
+    FaultQuery q;
+    q.transfer_index = transfer_index_;
+    q.write = op_write_;
+    q.addr = op_addr_;
+    q.htrans = static_cast<Trans>(bus.htrans.read());
+    // HMASTER still carries the owner that issued this address phase
+    // (settled value from the cycle that just ended).
+    q.master = bus.hmaster.read();
+    fault = cfg_.fault_hook(q);
+  }
+  ++transfer_index_;
+  if (fault.resp != Resp::kOkay) {
+    switch (fault.resp) {
+      case Resp::kRetry:
+        ++stats_.retries;
+        break;
+      case Resp::kError:
+        ++stats_.errors;
+        break;
+      case Resp::kSplit: {
+        const unsigned m = bus.hmaster.read();
+        bus_.arbiter().split(m);
+        const unsigned resume = fault.split_resume_cycles == 0
+                                    ? 1u
+                                    : fault.split_resume_cycles;
+        pending_resumes_.emplace_back(m, resume);
+        ++stats_.splits;
+        break;
+      }
+      case Resp::kOkay:
+        break;
+    }
+    sig_.hresp.write(raw(fault.resp));
+    sig_.hreadyout.write(false);
+    resp_phase_ = RespPhase::kFail1;
+    return;
+  }
+
+  busy_ = true;
+  const unsigned waits = cfg_.wait_states + fault.extra_waits;
+  stats_.jitter_cycles += fault.extra_waits;
+  if (waits == 0) {
     if (!op_write_) sig_.hrdata.write(peek(op_addr_ - cfg_.base));
     sig_.hreadyout.write(true);  // already true, but keep the intent clear
     completing_ = true;
   } else {
-    waits_left_ = cfg_.wait_states;
+    waits_left_ = waits;
     sig_.hreadyout.write(false);
     completing_ = false;
   }
@@ -106,8 +185,12 @@ FaultySlave::FaultySlave(sim::Module* parent, std::string name, AhbBus& bus,
     throw SimError("FaultySlave: size must be a positive multiple of 4");
   }
   if (cfg_.fail_every_n == 0) throw SimError("FaultySlave: fail_every_n must be > 0");
-  if (cfg_.failure != Resp::kRetry && cfg_.failure != Resp::kError) {
-    throw SimError("FaultySlave: failure response must be RETRY or ERROR");
+  if (cfg_.failure != Resp::kRetry && cfg_.failure != Resp::kError &&
+      cfg_.failure != Resp::kSplit) {
+    throw SimError("FaultySlave: failure response must be RETRY, ERROR or SPLIT");
+  }
+  if (cfg_.failure == Resp::kSplit && cfg_.split_resume_cycles == 0) {
+    throw SimError("FaultySlave: split_resume_cycles must be > 0");
   }
   proc_.sensitive(clock().posedge_event()).dont_initialize();
 }
@@ -119,6 +202,8 @@ std::uint32_t FaultySlave::peek(std::uint32_t addr) const {
 
 void FaultySlave::on_clock() {
   BusSignals& bus = bus_signals();
+
+  if (!pending_resumes_.empty()) tick_resumes(pending_resumes_, bus_.arbiter());
 
   switch (phase_) {
     case Phase::kData:
@@ -155,6 +240,13 @@ void FaultySlave::on_clock() {
   op_write_ = bus.hwrite.read();
   op_addr_ = bus.haddr.read();
   if (accepted_ % cfg_.fail_every_n == 0) {
+    if (cfg_.failure == Resp::kSplit) {
+      // Mask the owner that issued this address phase; schedule the
+      // HSPLITx resume.
+      const unsigned m = bus.hmaster.read();
+      bus_.arbiter().split(m);
+      pending_resumes_.emplace_back(m, cfg_.split_resume_cycles);
+    }
     sig_.hresp.write(raw(cfg_.failure));
     sig_.hreadyout.write(false);
     phase_ = Phase::kFail1;

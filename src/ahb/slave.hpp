@@ -4,8 +4,10 @@
 // unmapped space).
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "ahb/signals.hpp"
 #include "sim/clock.hpp"
@@ -15,6 +17,36 @@
 namespace ahbp::ahb {
 
 class AhbBus;
+
+/// Per-transfer fault verdict returned by a FaultHook (see
+/// MemorySlave::Config::fault_hook). The default is a clean transfer.
+/// The ahb layer stays ignorant of fault *scheduling*; src/fault/ builds
+/// deterministic seed-driven hooks on top of this interface.
+struct FaultDecision {
+  /// kOkay = complete normally; kRetry/kError/kSplit = two-cycle
+  /// protocol response of that kind instead of completing.
+  Resp resp = Resp::kOkay;
+  /// Additional wait states injected into this transfer's data phase
+  /// (added to the slave's configured wait_states; OKAY responses only).
+  unsigned extra_waits = 0;
+  /// For kSplit: clock cycles after the SPLIT response until the slave
+  /// signals resume (HSPLITx) and the arbiter unmasks the master.
+  /// Clamped to >= 1.
+  unsigned split_resume_cycles = 4;
+};
+
+/// Everything a FaultHook may condition its verdict on, sampled at the
+/// accept edge of the transfer.
+struct FaultQuery {
+  std::uint64_t transfer_index = 0;  ///< slave-local accept counter
+  bool write = false;
+  std::uint32_t addr = 0;
+  Trans htrans = Trans::kNonSeq;  ///< kSeq = mid-burst beat
+  unsigned master = 0;            ///< address-phase owner (HMASTER)
+};
+
+/// Decides the fate of one accepted transfer.
+using FaultHook = std::function<FaultDecision(const FaultQuery&)>;
 
 /// Base class for bus slaves: owns the response bundle and the
 /// attachment (address range) on the bus.
@@ -44,18 +76,30 @@ protected:
 /// Supports zero-wait operation or a fixed number of wait states per
 /// transfer. Storage is sparse (unordered map keyed by word address), so
 /// large address ranges cost nothing until touched.
+///
+/// An optional FaultHook turns any memory slave into a fault injector:
+/// the hook is consulted once per accepted transfer and can demand a
+/// two-cycle RETRY/ERROR/SPLIT response or extra wait states. SPLIT
+/// responses mask the requesting master at the arbiter and schedule the
+/// HSPLITx resume `split_resume_cycles` later.
 class MemorySlave final : public AhbSlave {
 public:
   struct Config {
     std::uint32_t base = 0;
     std::uint32_t size = 1024;   ///< bytes
     unsigned wait_states = 0;    ///< extra cycles per data phase
+    /// Optional per-transfer fault verdict; empty = always OKAY.
+    FaultHook fault_hook{};
   };
 
   struct Stats {
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
     std::uint64_t wait_cycles = 0;
+    std::uint64_t retries = 0;      ///< RETRY responses issued by the hook
+    std::uint64_t errors = 0;       ///< ERROR responses issued by the hook
+    std::uint64_t splits = 0;       ///< SPLIT responses issued by the hook
+    std::uint64_t jitter_cycles = 0; ///< extra_waits cycles injected
   };
 
   MemorySlave(sim::Module* parent, std::string name, AhbBus& bus, Config cfg);
@@ -80,23 +124,32 @@ private:
   std::uint32_t op_addr_ = 0;
   unsigned waits_left_ = 0;
 
+  // Two-cycle fault-response machine (mirrors FaultySlave's phases).
+  enum class RespPhase { kNone, kFail1, kFail2 } resp_phase_ = RespPhase::kNone;
+  std::uint64_t transfer_index_ = 0;
+  /// Outstanding HSPLITx resumes: {master index, cycles until resume}.
+  std::vector<std::pair<unsigned, unsigned>> pending_resumes_;
+
   sim::Method proc_;
 };
 
 /// A fault-injecting memory slave: behaves like a zero-wait MemorySlave
 /// except that every `fail_every_n`-th accepted transfer receives a
-/// two-cycle non-OKAY response (RETRY or ERROR) instead of completing.
-/// RETRYed transfers do not touch memory; the master is expected to
-/// re-issue them (see ScriptedMaster::Options::retry). SPLIT is not
-/// modeled (it requires arbiter-side master masking, out of this
-/// reproduction's scope).
+/// two-cycle non-OKAY response (RETRY, ERROR or SPLIT) instead of
+/// completing. Failed transfers do not touch memory; the master is
+/// expected to re-issue RETRYed/SPLIT transfers (see
+/// ScriptedMaster::Options::retry). A SPLIT response masks the
+/// requesting master at the arbiter and resumes it (HSPLITx)
+/// `split_resume_cycles` later.
 class FaultySlave final : public AhbSlave {
 public:
   struct Config {
     std::uint32_t base = 0;
     std::uint32_t size = 1024;
     unsigned fail_every_n = 3;   ///< 1 = every transfer fails
-    Resp failure = Resp::kRetry; ///< kRetry or kError
+    Resp failure = Resp::kRetry; ///< kRetry, kError or kSplit
+    /// For kSplit: cycles from the SPLIT response to the HSPLITx resume.
+    unsigned split_resume_cycles = 4;
   };
 
   struct Stats {
@@ -121,6 +174,8 @@ private:
   enum class Phase { kIdle, kData, kFail1, kFail2 } phase_ = Phase::kIdle;
   bool op_write_ = false;
   std::uint32_t op_addr_ = 0;
+  /// Outstanding HSPLITx resumes: {master index, cycles until resume}.
+  std::vector<std::pair<unsigned, unsigned>> pending_resumes_;
 
   sim::Method proc_;
 };

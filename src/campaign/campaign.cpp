@@ -10,30 +10,92 @@ namespace ahbp::campaign {
 
 namespace {
 
-/// Executes spec `i` into its pre-allocated outcome slot. Runs on a
-/// pool thread; everything it touches is private to the slot.
-void execute(const RunSpec& spec, std::size_t i, RunOutcome& out) {
-  out.index = i;
-  out.name = spec.name;
-  const auto t0 = std::chrono::steady_clock::now();
+using Clock = std::chrono::steady_clock;
+
+/// Installs the campaign's per-run kernel defaults on the current
+/// thread for the duration of a scope (restored to unlimited on exit).
+struct ThreadDefaultsGuard {
+  ThreadDefaultsGuard(const sim::RunBudget& budget,
+                      const std::atomic<bool>* cancel) {
+    sim::Kernel::set_thread_defaults(budget, cancel);
+  }
+  ~ThreadDefaultsGuard() { sim::Kernel::clear_thread_defaults(); }
+  ThreadDefaultsGuard(const ThreadDefaultsGuard&) = delete;
+  ThreadDefaultsGuard& operator=(const ThreadDefaultsGuard&) = delete;
+};
+
+/// Runs `spec.run()` once, classifying the ending. Returns the status.
+RunStatus attempt(const RunSpec& spec, std::size_t i, RunOutcome& out) {
   try {
     out.report = spec.run();
-    out.ok = true;
+    out.error.clear();
+    return RunStatus::kOk;
+  } catch (const sim::RunCancelledError& e) {
+    out.error = "spec[" + std::to_string(i) + "] " + spec.name + ": " + e.what();
+    return RunStatus::kCancelled;
+  } catch (const sim::BudgetExceededError& e) {
+    out.error = "spec[" + std::to_string(i) + "] " + spec.name + ": " + e.what();
+    return RunStatus::kTimedOut;
+  } catch (const sim::DeadlockError& e) {
+    out.error = "spec[" + std::to_string(i) + "] " + spec.name + ": " + e.what();
+    return RunStatus::kTimedOut;
   } catch (const std::exception& e) {
-    out.ok = false;
-    out.error = e.what();
+    out.error = "spec[" + std::to_string(i) + "] " + spec.name + ": " + e.what();
+    return RunStatus::kFailed;
   } catch (...) {
-    out.ok = false;
-    out.error = "unknown exception";
+    out.error =
+        "spec[" + std::to_string(i) + "] " + spec.name + ": unknown exception";
+    return RunStatus::kFailed;
   }
+}
+
+/// Executes spec `i` into its pre-allocated outcome slot. Runs on a
+/// pool thread; everything it touches is private to the slot.
+void execute(const RunSpec& spec, std::size_t i, RunOutcome& out,
+             bool retry_transient) {
+  out.index = i;
+  out.name = spec.name;
+  const auto t0 = Clock::now();
+  out.status = attempt(spec, i, out);
+  out.attempts = 1;
+  if (out.status == RunStatus::kFailed && retry_transient) {
+    // One more try: a transient crash (resource blip, rare race in the
+    // workload itself) completes now; a deterministic one fails again.
+    out.status = attempt(spec, i, out);
+    out.attempts = 2;
+  }
+  out.ok = out.status == RunStatus::kOk;
   out.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Marks a spec that was never started because the campaign deadline
+/// passed before a worker claimed it.
+void mark_unstarted(const RunSpec& spec, std::size_t i, RunOutcome& out) {
+  out.index = i;
+  out.name = spec.name;
+  out.ok = false;
+  out.status = RunStatus::kCancelled;
+  out.attempts = 0;
+  out.wall_seconds = 0.0;
+  out.error = "spec[" + std::to_string(i) + "] " + spec.name +
+              ": not started (campaign wall deadline exceeded)";
 }
 
 }  // namespace
 
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kFailed: return "failed";
+    case RunStatus::kTimedOut: return "timed_out";
+    case RunStatus::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
 Campaign::Campaign(Config cfg)
-    : threads_(cfg.threads != 0 ? cfg.threads : hardware_threads()) {}
+    : cfg_(cfg), threads_(cfg.threads != 0 ? cfg.threads : hardware_threads()) {}
 
 unsigned Campaign::hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
@@ -44,11 +106,33 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs) const {
   std::vector<RunOutcome> outcomes(specs.size());
   if (specs.empty()) return outcomes;
 
+  // Shared cooperative cancel flag: set when the campaign wall deadline
+  // passes; every in-flight kernel polls it once per time advance.
+  std::atomic<bool> cancel{false};
+  const auto start = Clock::now();
+  const bool deadline_armed = cfg_.campaign_wall_seconds > 0.0;
+  auto deadline_passed = [&] {
+    if (!deadline_armed) return false;
+    if (cancel.load(std::memory_order_relaxed)) return true;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (elapsed >= cfg_.campaign_wall_seconds) {
+      cancel.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
   if (threads_ <= 1 || specs.size() == 1) {
     // Serial baseline: inline on the calling thread. Note the caller's
     // own Kernel (if any) must not be alive -- each spec constructs one.
+    ThreadDefaultsGuard guard(cfg_.run_budget, &cancel);
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      execute(specs[i], i, outcomes[i]);
+      if (deadline_passed()) {
+        mark_unstarted(specs[i], i, outcomes[i]);
+        continue;
+      }
+      execute(specs[i], i, outcomes[i], cfg_.retry_transient);
     }
     return outcomes;
   }
@@ -64,10 +148,15 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs) const {
     pool.reserve(n_workers);
     for (unsigned w = 0; w < n_workers; ++w) {
       pool.emplace_back([&] {
+        ThreadDefaultsGuard guard(cfg_.run_budget, &cancel);
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= specs.size()) return;
-          execute(specs[i], i, outcomes[i]);
+          if (deadline_passed()) {
+            mark_unstarted(specs[i], i, outcomes[i]);
+            continue;
+          }
+          execute(specs[i], i, outcomes[i], cfg_.retry_transient);
         }
       });
     }

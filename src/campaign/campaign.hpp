@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "power/power_fsm.hpp"
+#include "sim/kernel.hpp"
 
 namespace ahbp::campaign {
 
@@ -64,14 +65,28 @@ struct RunSpec {
   std::function<PowerReport()> run;
 };
 
+/// How one RunSpec ended.
+enum class RunStatus : std::uint8_t {
+  kOk,         ///< completed, report valid
+  kFailed,     ///< threw (crash/assertion); error carries the context
+  kTimedOut,   ///< killed by the per-run budget or deadlock diagnosis
+  kCancelled,  ///< cooperative cancel (campaign deadline) or never started
+};
+
+[[nodiscard]] const char* to_string(RunStatus s);
+
 /// The result slot for one RunSpec, in submission order.
 struct RunOutcome {
   std::size_t index = 0;  ///< position in the submitted spec vector
   std::string name;
   PowerReport report;     ///< valid only when ok
-  bool ok = false;
-  std::string error;      ///< exception text when !ok
-  double wall_seconds = 0.0;
+  bool ok = false;        ///< status == kOk (kept for existing callers)
+  RunStatus status = RunStatus::kFailed;
+  /// Context-prefixed exception text when !ok:
+  /// "spec[<index>] <name>: <what>".
+  std::string error;
+  double wall_seconds = 0.0;  ///< measured even for degraded outcomes
+  unsigned attempts = 0;      ///< executions consumed (retry accounting)
 };
 
 /// A fixed thread pool that executes RunSpecs and gathers RunOutcomes.
@@ -87,6 +102,21 @@ public:
   struct Config {
     /// Worker count; 0 = one per hardware thread.
     unsigned threads = 0;
+    /// Per-RunSpec execution budget, imposed on each spec's internally
+    /// constructed Kernel via the thread-default mechanism (see
+    /// sim::Kernel::set_thread_defaults). Unlimited by default; a
+    /// budget-killed run becomes a kTimedOut outcome instead of
+    /// stalling its pool thread forever.
+    sim::RunBudget run_budget{};
+    /// Whole-campaign wall deadline in seconds (0 = none). Once
+    /// exceeded, in-flight runs are cooperatively cancelled and
+    /// unclaimed specs are marked kCancelled without running.
+    double campaign_wall_seconds = 0.0;
+    /// Re-execute a kFailed (crashed) spec once before recording the
+    /// failure -- salvages transient crashes; deterministic failures
+    /// fail twice and are recorded with attempts = 2. Timed-out runs
+    /// are never retried (they would exhaust the budget again).
+    bool retry_transient = false;
   };
 
   Campaign() : Campaign(Config{}) {}
@@ -94,16 +124,19 @@ public:
 
   /// Resolved worker count (>= 1).
   [[nodiscard]] unsigned threads() const { return threads_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
   /// Runs every spec and returns outcomes ordered by spec index. A spec
-  /// that throws is captured in its outcome (ok = false); the campaign
-  /// itself always completes.
+  /// that throws, exhausts its budget or is cancelled is captured in
+  /// its outcome (ok = false, status says how); the campaign itself
+  /// always completes.
   [[nodiscard]] std::vector<RunOutcome> run(const std::vector<RunSpec>& specs) const;
 
   /// The machine's hardware concurrency (>= 1 even when unknown).
   [[nodiscard]] static unsigned hardware_threads();
 
 private:
+  Config cfg_;
   unsigned threads_ = 1;
 };
 

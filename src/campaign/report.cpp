@@ -35,7 +35,7 @@ void write_campaign_json(std::ostream& os,
   }
 
   os << "{\n";
-  os << "  \"schema\": \"ahbpower.campaign.v2\",\n";
+  os << "  \"schema\": \"ahbpower.campaign.v3\",\n";
   os << "  \"name\": \"" << json_escape(meta.name) << "\",\n";
   os << "  \"cycles\": " << meta.cycles << ",\n";
   os << "  \"threads\": " << meta.threads << ",\n";
@@ -44,7 +44,8 @@ void write_campaign_json(std::ostream& os,
     const RunOutcome& o = outcomes[i];
     os << (i == 0 ? "\n" : ",\n");
     os << "    {\"index\": " << o.index << ", \"name\": \""
-       << json_escape(o.name) << "\", \"ok\": " << (o.ok ? "true" : "false");
+       << json_escape(o.name) << "\", \"ok\": " << (o.ok ? "true" : "false")
+       << ", \"status\": \"" << to_string(o.status) << '"';
     if (!o.ok) {
       os << ", \"error\": \"" << json_escape(o.error) << "\"}";
       continue;
@@ -78,6 +79,38 @@ void write_campaign_json(std::ostream& os,
     os << "}}";
   }
   os << "\n  ],\n";
+  if (failed != 0) {
+    // Degraded block: only present when something went wrong, so a
+    // fully successful campaign report stays byte-identical across
+    // reruns (wall times below are inherently non-deterministic).
+    std::size_t n_failed = 0;
+    std::size_t n_timed_out = 0;
+    std::size_t n_cancelled = 0;
+    for (const RunOutcome& o : outcomes) {
+      if (o.ok) continue;
+      switch (o.status) {
+        case RunStatus::kTimedOut: ++n_timed_out; break;
+        case RunStatus::kCancelled: ++n_cancelled; break;
+        default: ++n_failed; break;
+      }
+    }
+    os << "  \"degraded\": {\"count\": " << failed
+       << ", \"failed\": " << n_failed
+       << ", \"timed_out\": " << n_timed_out
+       << ", \"cancelled\": " << n_cancelled << ", \"runs\": [";
+    bool first = true;
+    for (const RunOutcome& o : outcomes) {
+      if (o.ok) continue;
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "    {\"index\": " << o.index << ", \"name\": \""
+         << json_escape(o.name) << "\", \"status\": \"" << to_string(o.status)
+         << "\", \"wall_seconds\": " << json_number(o.wall_seconds)
+         << ", \"attempts\": " << o.attempts << ", \"error\": \""
+         << json_escape(o.error) << "\"}";
+    }
+    os << "\n  ]},\n";
+  }
   os << "  \"aggregate\": {\"runs\": " << outcomes.size()
      << ", \"failed\": " << failed
      << ", \"total_energy_j\": " << json_number(sum)

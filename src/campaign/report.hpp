@@ -4,11 +4,14 @@
 //
 // The report is deterministic by construction -- runs appear in spec
 // order, per-run metric maps iterate in key order, and wall-clock
-// timings are excluded -- so two executions of the same campaign (any
-// thread count) produce byte-identical files. Structure is specified in
-// docs/OBSERVABILITY.md (schema "ahbpower.campaign.v2"; v2 adds the
-// optional per-run "attribution" block and keeps every v1 field) and
-// validated in CI by tools/telemetry_validate.
+// timings are excluded from healthy output -- so two executions of a
+// fully successful campaign (any thread count) produce byte-identical
+// files. Structure is specified in docs/OBSERVABILITY.md (schema
+// "ahbpower.campaign.v3"; v3 adds the per-run "status" field and a
+// top-level "degraded" block -- emitted only when at least one run did
+// not complete, carrying per-run status / wall time / attempts / error;
+// see docs/ROBUSTNESS.md) and validated in CI by
+// tools/telemetry_validate.
 
 #include <iosfwd>
 #include <string>
@@ -26,9 +29,12 @@ struct CampaignReportMeta {
 };
 
 /// Writes the outcomes as one JSON document: header, one object per run
-/// (index, name, ok, cycles, transfers, energies, optional per-master
-/// attribution, free-form metrics) and an aggregate block (run/failure
-/// counts, energy sum / min / max over successful runs).
+/// (index, name, ok, status, cycles, transfers, energies, optional
+/// per-master attribution, free-form metrics), an aggregate block
+/// (run/failure counts, energy sum / min / max over successful runs)
+/// and -- only when some run did not complete -- a "degraded" block
+/// listing every non-ok run with its status, wall time, attempts and
+/// error text.
 void write_campaign_json(std::ostream& os,
                          const std::vector<RunOutcome>& outcomes,
                          const CampaignReportMeta& meta);

@@ -1,0 +1,49 @@
+#include "fault/injector.hpp"
+
+namespace ahbp::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, telemetry::MetricsRegistry* metrics)
+    : plan_(std::move(plan)) {
+  if (metrics != nullptr) {
+    c_decisions_ = &metrics->counter("ahb.fault.decisions");
+    c_retries_ = &metrics->counter("ahb.fault.retries");
+    c_errors_ = &metrics->counter("ahb.fault.errors");
+    c_splits_ = &metrics->counter("ahb.fault.splits");
+    c_jitter_ = &metrics->counter("ahb.fault.jitter_cycles");
+  }
+}
+
+ahb::FaultHook FaultInjector::hook(unsigned slave) {
+  return [this, slave](const ahb::FaultQuery& q) { return decide(slave, q); };
+}
+
+ahb::FaultDecision FaultInjector::decide(unsigned slave,
+                                         const ahb::FaultQuery& q) {
+  const ahb::FaultDecision d = plan_.decide(slave, q);
+  ++stats_.decisions;
+  if (c_decisions_ != nullptr) c_decisions_->increment();
+  switch (d.resp) {
+    case ahb::Resp::kRetry:
+      ++stats_.retries;
+      if (c_retries_ != nullptr) c_retries_->increment();
+      break;
+    case ahb::Resp::kError:
+      ++stats_.errors;
+      if (c_errors_ != nullptr) c_errors_->increment();
+      break;
+    case ahb::Resp::kSplit:
+      ++stats_.splits;
+      if (c_splits_ != nullptr) c_splits_->increment();
+      break;
+    case ahb::Resp::kOkay:
+      if (d.extra_waits > 0) {
+        ++stats_.jitter_hits;
+        stats_.jitter_cycles += d.extra_waits;
+        if (c_jitter_ != nullptr) c_jitter_->add(d.extra_waits);
+      }
+      break;
+  }
+  return d;
+}
+
+}  // namespace ahbp::fault

@@ -1,0 +1,56 @@
+#pragma once
+// FaultInjector: binds a FaultPlan to slaves and counts what it did.
+//
+// The injector owns nothing on the bus; it hands out FaultHook closures
+// (one per slave index) for MemorySlave::Config::fault_hook. Each hook
+// routes through the plan's pure decide() and tallies the verdicts into
+// local stats plus optional `ahb.fault.*` telemetry counters.
+
+#include <cstdint>
+
+#include "ahb/slave.hpp"
+#include "fault/plan.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ahbp::fault {
+
+/// Deterministic fault injection front-end for one simulation.
+///
+/// Thread-compatible with the campaign runner: one injector per run,
+/// living on that run's thread; the hooks it vends must not outlive it.
+class FaultInjector {
+public:
+  struct Stats {
+    std::uint64_t decisions = 0;      ///< hook invocations
+    std::uint64_t retries = 0;        ///< RETRY verdicts
+    std::uint64_t errors = 0;         ///< ERROR verdicts
+    std::uint64_t splits = 0;         ///< SPLIT verdicts
+    std::uint64_t jitter_hits = 0;    ///< transfers given extra waits
+    std::uint64_t jitter_cycles = 0;  ///< total extra wait cycles injected
+  };
+
+  /// `metrics` is optional and not owned; when set, verdicts also count
+  /// into `ahb.fault.decisions/.retries/.errors/.splits/.jitter_cycles`.
+  explicit FaultInjector(FaultPlan plan,
+                         telemetry::MetricsRegistry* metrics = nullptr);
+
+  /// The hook for slave index `slave`. Captures `this`: the injector
+  /// must outlive every slave the hook is installed on.
+  [[nodiscard]] ahb::FaultHook hook(unsigned slave);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+private:
+  ahb::FaultDecision decide(unsigned slave, const ahb::FaultQuery& q);
+
+  FaultPlan plan_;
+  Stats stats_;
+  telemetry::Counter* c_decisions_ = nullptr;
+  telemetry::Counter* c_retries_ = nullptr;
+  telemetry::Counter* c_errors_ = nullptr;
+  telemetry::Counter* c_splits_ = nullptr;
+  telemetry::Counter* c_jitter_ = nullptr;
+};
+
+}  // namespace ahbp::fault

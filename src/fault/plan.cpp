@@ -1,0 +1,115 @@
+#include "fault/plan.hpp"
+
+#include "sim/report.hpp"
+
+namespace ahbp::fault {
+
+using sim::SimError;
+
+namespace {
+
+// Independent hash streams for the per-transfer decisions.
+constexpr std::uint64_t kStreamResp = 0x7265737021ULL;
+constexpr std::uint64_t kStreamJitter = 0x6a69747221ULL;
+constexpr std::uint64_t kStreamJitterAmount = 0x616d6f756eULL;
+constexpr std::uint64_t kStreamBurst = 0x6275727374ULL;
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void check_rate(double r, const char* what) {
+  if (r < 0.0 || r > 1.0) {
+    throw SimError(std::string("FaultPlan: ") + what + " must be in [0,1]");
+  }
+}
+
+}  // namespace
+
+double fault_u01(std::uint64_t seed, unsigned slave,
+                 std::uint64_t transfer_index, std::uint64_t stream) {
+  // Chained splitmix64: each input fully avalanches before the next is
+  // mixed in, so neighbouring (slave, index) pairs are uncorrelated.
+  std::uint64_t h = splitmix64(seed ^ stream);
+  h = splitmix64(h ^ slave);
+  h = splitmix64(h ^ transfer_index);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultPlan::FaultPlan(Config cfg) : cfg_(std::move(cfg)) {
+  for (const SlaveFaultConfig& s : cfg_.slaves) {
+    check_rate(s.retry_rate, "retry_rate");
+    check_rate(s.error_rate, "error_rate");
+    check_rate(s.split_rate, "split_rate");
+    check_rate(s.jitter_rate, "jitter_rate");
+    check_rate(s.burst_interrupt_rate, "burst_interrupt_rate");
+    if (s.retry_rate + s.error_rate + s.split_rate > 1.0) {
+      throw SimError("FaultPlan: retry+error+split rates exceed 1");
+    }
+    if (s.split_rate > 0.0 && s.split_resume_cycles == 0) {
+      throw SimError("FaultPlan: split_resume_cycles must be > 0");
+    }
+    if (s.jitter_rate > 0.0 && s.max_extra_waits == 0) {
+      throw SimError("FaultPlan: jitter_rate > 0 needs max_extra_waits > 0");
+    }
+  }
+}
+
+FaultPlan FaultPlan::uniform(std::uint64_t seed, const SlaveFaultConfig& rates,
+                             unsigned n_slaves) {
+  Config cfg;
+  cfg.seed = seed;
+  cfg.slaves.assign(n_slaves, rates);
+  return FaultPlan(cfg);
+}
+
+ahb::FaultDecision FaultPlan::decide(unsigned slave,
+                                     const ahb::FaultQuery& q) const {
+  ahb::FaultDecision d;
+  if (slave >= cfg_.slaves.size()) return d;
+  const SlaveFaultConfig& s = cfg_.slaves[slave];
+
+  // Response fault: one uniform draw partitioned into SPLIT / RETRY /
+  // ERROR bands (ordering is part of the schedule contract).
+  const double u = fault_u01(cfg_.seed, slave, q.transfer_index, kStreamResp);
+  if (u < s.split_rate) {
+    d.resp = ahb::Resp::kSplit;
+    d.split_resume_cycles = s.split_resume_cycles;
+    return d;
+  }
+  if (u < s.split_rate + s.retry_rate) {
+    d.resp = ahb::Resp::kRetry;
+    return d;
+  }
+  if (u < s.split_rate + s.retry_rate + s.error_rate) {
+    d.resp = ahb::Resp::kError;
+    return d;
+  }
+
+  // Burst-interrupt points: an extra RETRY band applied to SEQ beats
+  // only, drawn from its own stream so it does not perturb the plain
+  // response schedule.
+  if (q.htrans == ahb::Trans::kSeq && s.burst_interrupt_rate > 0.0 &&
+      fault_u01(cfg_.seed, slave, q.transfer_index, kStreamBurst) <
+          s.burst_interrupt_rate) {
+    d.resp = ahb::Resp::kRetry;
+    return d;
+  }
+
+  // Wait-state jitter on clean transfers.
+  if (s.jitter_rate > 0.0 &&
+      fault_u01(cfg_.seed, slave, q.transfer_index, kStreamJitter) <
+          s.jitter_rate) {
+    const double a =
+        fault_u01(cfg_.seed, slave, q.transfer_index, kStreamJitterAmount);
+    d.extra_waits =
+        1u + static_cast<unsigned>(a * static_cast<double>(s.max_extra_waits));
+    if (d.extra_waits > s.max_extra_waits) d.extra_waits = s.max_extra_waits;
+  }
+  return d;
+}
+
+}  // namespace ahbp::fault

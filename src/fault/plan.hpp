@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic fault scheduling (the injection half of the robustness
+// subsystem; see docs/ROBUSTNESS.md).
+//
+// A FaultPlan maps (seed, slave index, transfer index) to a
+// FaultDecision through a counter-based splitmix64 hash: the schedule is
+// a *pure function* of the plan, with no RNG state to advance. Two
+// consequences the campaign runner depends on:
+//   * the same seed yields bit-identical fault schedules regardless of
+//     thread count, interleaving or how many decisions were consumed
+//     elsewhere;
+//   * decisions can be (re)computed out of order -- e.g. by a validator
+//     replaying one slave's schedule.
+
+#include <cstdint>
+#include <vector>
+
+#include "ahb/slave.hpp"
+
+namespace ahbp::fault {
+
+/// Fault rates for one slave. All rates are probabilities in [0,1];
+/// retry+error+split must not exceed 1.
+struct SlaveFaultConfig {
+  double retry_rate = 0.0;  ///< P(two-cycle RETRY) per transfer
+  double error_rate = 0.0;  ///< P(two-cycle ERROR) per transfer
+  double split_rate = 0.0;  ///< P(two-cycle SPLIT) per transfer
+  /// P(extra wait states) for transfers that complete OKAY.
+  double jitter_rate = 0.0;
+  /// Jitter amount: uniform in [1, max_extra_waits] when it hits.
+  unsigned max_extra_waits = 3;
+  /// P(interrupting a burst) applied to SEQ beats on top of the plain
+  /// rates: a hit turns the beat into a RETRY, forcing the master to
+  /// rebuild the burst from that point.
+  double burst_interrupt_rate = 0.0;
+  /// Cycles from a SPLIT response to the HSPLITx resume.
+  unsigned split_resume_cycles = 4;
+};
+
+/// The deterministic, seed-driven fault schedule for a set of slaves.
+class FaultPlan {
+public:
+  struct Config {
+    std::uint64_t seed = 1;
+    /// One entry per slave index; slaves beyond the vector get no
+    /// faults.
+    std::vector<SlaveFaultConfig> slaves;
+  };
+
+  /// Validates rates; throws sim::SimError on out-of-range values.
+  explicit FaultPlan(Config cfg);
+
+  /// The verdict for one accepted transfer on `slave`. Pure: the same
+  /// (plan, slave, query) always returns the same decision.
+  [[nodiscard]] ahb::FaultDecision decide(unsigned slave,
+                                          const ahb::FaultQuery& q) const;
+
+  /// Convenience: a FaultPlan with the same rates on every slave.
+  [[nodiscard]] static FaultPlan uniform(std::uint64_t seed,
+                                         const SlaveFaultConfig& rates,
+                                         unsigned n_slaves);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+private:
+  Config cfg_;
+};
+
+/// The counter-based hash behind FaultPlan, exposed for tests: a
+/// uniform double in [0,1) from (seed, slave, transfer index, stream).
+[[nodiscard]] double fault_u01(std::uint64_t seed, unsigned slave,
+                               std::uint64_t transfer_index,
+                               std::uint64_t stream);
+
+}  // namespace ahbp::fault

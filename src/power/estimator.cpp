@@ -73,6 +73,7 @@ CycleView AhbPowerEstimator::sample_view() const {
     if (bus_.hgrant(m).read()) v.grant_vector |= 1u << m;
   }
   v.req_vector = bus_.arbiter().request_vector();
+  v.split_vector = bus_.arbiter().split_mask();
   return v;
 }
 

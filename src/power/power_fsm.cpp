@@ -111,8 +111,11 @@ BusMode PowerFsm::classify(const CycleView& v, bool handover) const {
   if (v.data_active) return v.data_write ? BusMode::kWrite : BusMode::kRead;
   // No data transfer this cycle: is arbitration working? Either the
   // ownership moved, or a non-owner is requesting (the grant is being
-  // negotiated).
-  const bool pending_request = (v.req_vector & ~v.grant_vector) != 0;
+  // negotiated). Split-masked masters are excluded: the arbiter ignores
+  // their requests until the HSPLITx resume, so a parked split request
+  // burns no arbitration activity.
+  const bool pending_request =
+      (v.req_vector & ~v.grant_vector & ~v.split_vector) != 0;
   if (handover || pending_request) return BusMode::kIdleHo;
   return BusMode::kIdle;
 }

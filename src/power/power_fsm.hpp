@@ -69,6 +69,11 @@ struct CycleView {
   bool data_write = false;
   std::uint32_t req_vector = 0;    ///< HBUSREQx, bit per master
   std::uint32_t grant_vector = 0;  ///< HGRANTx, bit per master
+  /// Split-masked masters (arbiter HSPLITx mask, bit per master). A
+  /// masked master's pending request is *not* arbitration work -- the
+  /// arbiter ignores it until resume -- so it must not classify the
+  /// cycle as IDLE_HO.
+  std::uint32_t split_vector = 0;
 };
 
 /// The instruction-level power model of the AHB bus.

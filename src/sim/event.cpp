@@ -10,7 +10,17 @@ namespace ahbp::sim {
 
 Event::Event(Module* parent, std::string name) : Object(parent, std::move(name)) {}
 
-Event::~Event() = default;
+Event::~Event() {
+  // Sever both subscription directions: teardown order between an event
+  // and its subscribers is not specified (a bench may destroy a slave's
+  // signals before the bus mux that watches them), so whichever side
+  // dies first must unhook itself from the survivor.
+  for (Process* p : static_sensitive_) {
+    auto& v = p->static_events_;
+    v.erase(std::remove(v.begin(), v.end(), this), v.end());
+  }
+  for (Process* p : dynamic_waiters_) p->dynamic_wait_event_ = nullptr;
+}
 
 void Event::notify() {
   // Immediate notification: fire now, and drop any pending notification
@@ -56,11 +66,15 @@ void Event::remove_static(Process& p) {
   v.erase(std::remove(v.begin(), v.end(), &p), v.end());
 }
 
-void Event::add_dynamic(Process& p) { dynamic_waiters_.push_back(&p); }
+void Event::add_dynamic(Process& p) {
+  dynamic_waiters_.push_back(&p);
+  p.dynamic_wait_event_ = this;
+}
 
 void Event::remove_dynamic(Process& p) {
   auto& v = dynamic_waiters_;
   v.erase(std::remove(v.begin(), v.end(), &p), v.end());
+  if (p.dynamic_wait_event_ == this) p.dynamic_wait_event_ = nullptr;
 }
 
 void Event::trigger() {
@@ -71,7 +85,10 @@ void Event::trigger() {
     // may re-subscribe during the same evaluation phase.
     std::vector<Process*> waiters;
     waiters.swap(dynamic_waiters_);
-    for (Process* p : waiters) kernel().make_runnable(*p);
+    for (Process* p : waiters) {
+      p->dynamic_wait_event_ = nullptr;
+      kernel().make_runnable(*p);
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #include "sim/kernel.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "sim/event.hpp"
 #include "sim/object.hpp"
@@ -11,12 +12,16 @@
 namespace ahbp::sim {
 
 thread_local Kernel* Kernel::current_ = nullptr;
+thread_local RunBudget Kernel::thread_default_budget_{};
+thread_local const std::atomic<bool>* Kernel::thread_default_cancel_ = nullptr;
 
 Kernel::Kernel() {
   if (current_ != nullptr) {
     throw SimError("only one Kernel may be alive at a time per thread");
   }
   current_ = this;
+  budget_ = thread_default_budget_;
+  cancel_flag_ = thread_default_cancel_;
 }
 
 Kernel::~Kernel() { current_ = nullptr; }
@@ -103,6 +108,40 @@ void Kernel::fire_timestep_callbacks() {
   for (const auto& cb : timestep_callbacks_) cb();
 }
 
+void Kernel::set_thread_defaults(const RunBudget& budget,
+                                 const std::atomic<bool>* cancel_flag) {
+  thread_default_budget_ = budget;
+  thread_default_cancel_ = cancel_flag;
+}
+
+void Kernel::clear_thread_defaults() {
+  thread_default_budget_ = RunBudget{};
+  thread_default_cancel_ = nullptr;
+}
+
+std::vector<std::string> Kernel::blocked_processes() const {
+  std::vector<std::string> blocked;
+  for (const Process* p : processes_) {
+    if (p->done() || p->in_runnable_) continue;
+    if (std::strcmp(p->kind(), "thread") != 0) continue;
+    blocked.push_back(p->full_name());
+  }
+  return blocked;
+}
+
+std::string Kernel::watchdog_context() const {
+  std::string msg = " at t=" + now_.to_string() + " (" +
+                    std::to_string(stats_.time_advances) + " time advances, " +
+                    std::to_string(stats_.processes_executed) +
+                    " process activations)";
+  const std::vector<std::string> blocked = blocked_processes();
+  if (!blocked.empty()) {
+    msg += "; waiting processes:";
+    for (const std::string& name : blocked) msg += " " + name;
+  }
+  return msg;
+}
+
 void Kernel::run(SimTime duration) {
   const SimTime end =
       duration == SimTime::max() ? SimTime::max() : now_ + duration;
@@ -110,16 +149,77 @@ void Kernel::run(SimTime duration) {
   running_ = true;
   stop_requested_ = false;
 
+  // Watchdog bookkeeping: absolute thresholds computed once so the loop
+  // pays a single compare per limit. The wall clock is only sampled when
+  // a deadline is armed, and then only every 1024 time advances.
+  const std::uint64_t event_limit =
+      budget_.max_events != 0 ? stats_.processes_executed + budget_.max_events
+                              : UINT64_MAX;
+  const std::uint64_t cycle_limit =
+      budget_.max_cycles != 0 ? stats_.time_advances + budget_.max_cycles
+                              : UINT64_MAX;
+  const bool wall_limited = budget_.max_wall_seconds > 0.0;
+  const auto wall_start = wall_limited ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point{};
+  std::uint64_t wall_check = 0;
+
   while (!stop_requested_) {
     if (!runnable_.empty() || !delta_queue_.empty() || !update_queue_.empty()) {
       do_delta();
+      if (stats_.processes_executed >= event_limit) {
+        running_ = false;
+        throw BudgetExceededError("max-event budget (" +
+                                  std::to_string(budget_.max_events) +
+                                  " activations) exhausted" +
+                                  watchdog_context());
+      }
       continue;
     }
     // Time advance: settled values at the current time are final.
     fire_timestep_callbacks();
-    if (timed_queue_.empty()) break;
+    if (timed_queue_.empty()) {
+      // Genuine quiesce: nothing can ever run again. With deadlock
+      // diagnosis armed, threads still suspended here are waiting on
+      // events that can no longer fire.
+      if (budget_.fail_on_deadlock) {
+        const std::vector<std::string> blocked = blocked_processes();
+        if (!blocked.empty()) {
+          running_ = false;
+          throw DeadlockError("deadlock: event queues drained with " +
+                              std::to_string(blocked.size()) +
+                              " thread process(es) still suspended" +
+                              watchdog_context());
+        }
+      }
+      break;
+    }
     const SimTime next = timed_queue_.top().time;
     if (next > end) break;
+    if (stats_.time_advances >= cycle_limit) {
+      running_ = false;
+      throw BudgetExceededError("max-cycle budget (" +
+                                std::to_string(budget_.max_cycles) +
+                                " time advances) exhausted" +
+                                watchdog_context());
+    }
+    if (cancel_flag_ != nullptr &&
+        cancel_flag_->load(std::memory_order_relaxed)) {
+      running_ = false;
+      throw RunCancelledError("run cancelled" + watchdog_context());
+    }
+    if (wall_limited && (++wall_check & 1023u) == 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      if (elapsed >= budget_.max_wall_seconds) {
+        running_ = false;
+        throw BudgetExceededError(
+            "wall-deadline budget (" +
+            std::to_string(budget_.max_wall_seconds) + " s) exhausted" +
+            watchdog_context());
+      }
+    }
     now_ = next;
     ++stats_.time_advances;
     // Trigger every valid event scheduled for this instant.

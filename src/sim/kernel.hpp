@@ -18,11 +18,15 @@
 // builds on. A single Kernel and the objects attached to it must only
 // ever be touched from the thread that constructed it.
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
+#include "sim/report.hpp"
 #include "sim/time.hpp"
 
 namespace ahbp::sim {
@@ -31,6 +35,58 @@ class Object;
 class Event;
 class Process;
 class SignalBase;
+
+/// Execution budget enforced by Kernel::run() -- the watchdog that keeps
+/// a hung or runaway simulation from stalling its hosting thread forever
+/// (the campaign runner's per-RunSpec guard; see src/campaign/).
+///
+/// All limits are zero-initialized to "unlimited"; enforcing them costs
+/// one integer compare per delta / time advance, so an unlimited budget
+/// is free on the hot path. Limits count from the start of each run()
+/// call, not from kernel construction.
+struct RunBudget {
+  /// Max distinct simulated instants (time advances); 0 = unlimited.
+  std::uint64_t max_cycles = 0;
+  /// Max process activations (catches delta storms too); 0 = unlimited.
+  std::uint64_t max_events = 0;
+  /// Wall-clock deadline for one run() call in seconds; 0 = unlimited.
+  /// Checked every 1024 time advances, so enforcement lags by up to one
+  /// check interval.
+  double max_wall_seconds = 0.0;
+  /// When true, a run() that drains its event queues while coroutine
+  /// processes are still suspended (waiting on events that can never
+  /// fire) throws DeadlockError naming the blocked set instead of
+  /// returning as if the simulation had finished.
+  bool fail_on_deadlock = false;
+
+  [[nodiscard]] bool limited() const {
+    return max_cycles != 0 || max_events != 0 || max_wall_seconds > 0.0 ||
+           fail_on_deadlock;
+  }
+};
+
+/// Thrown by Kernel::run() when a RunBudget limit is hit. The message
+/// names the exhausted limit, the simulated time reached and the set of
+/// still-waiting thread processes.
+class BudgetExceededError : public SimError {
+public:
+  explicit BudgetExceededError(const std::string& what) : SimError(what) {}
+};
+
+/// Thrown by Kernel::run() when the cooperative cancel flag (see
+/// Kernel::set_cancel_flag) is observed set.
+class RunCancelledError : public SimError {
+public:
+  explicit RunCancelledError(const std::string& what) : SimError(what) {}
+};
+
+/// Thrown by Kernel::run() on deadlock diagnosis (RunBudget::
+/// fail_on_deadlock): no runnable or pending events remain but thread
+/// processes are still suspended.
+class DeadlockError : public SimError {
+public:
+  explicit DeadlockError(const std::string& what) : SimError(what) {}
+};
 
 /// The simulation scheduler and object registry.
 class Kernel {
@@ -73,6 +129,32 @@ public:
   /// True while inside run() -- processes can check this.
   [[nodiscard]] bool running() const { return running_; }
 
+  /// @name Watchdog: budgets, cancellation and deadlock diagnosis
+  ///@{
+  /// Budget applied to subsequent run() calls. A freshly constructed
+  /// kernel inherits the thread default (see set_thread_defaults).
+  void set_budget(const RunBudget& b) { budget_ = b; }
+  [[nodiscard]] const RunBudget& budget() const { return budget_; }
+
+  /// Cooperative cancellation: run() polls `flag` once per time advance
+  /// and throws RunCancelledError when it reads true. The flag is not
+  /// owned and must outlive every run() call; nullptr disables polling.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+
+  /// Ambient per-thread defaults picked up by every Kernel constructed
+  /// on the calling thread afterwards -- how the campaign runner imposes
+  /// a budget on a RunSpec that builds its own kernel internally.
+  /// clear_thread_defaults() restores the unlimited defaults.
+  static void set_thread_defaults(const RunBudget& budget,
+                                  const std::atomic<bool>* cancel_flag);
+  static void clear_thread_defaults();
+
+  /// Thread processes that are neither done nor runnable -- the set a
+  /// deadlocked simulation is blocked on. Hierarchical names, in
+  /// construction order.
+  [[nodiscard]] std::vector<std::string> blocked_processes() const;
+  ///@}
+
   /// Registers a callback invoked whenever simulated time is about to
   /// advance (all deltas at the current time done) and once when run()
   /// returns. Used by the VCD tracer to sample settled values.
@@ -110,6 +192,10 @@ private:
     }
   };
 
+  /// Builds the "budget exhausted at ..." diagnosis shared by every
+  /// watchdog throw site (simulated time, counters, blocked set).
+  [[nodiscard]] std::string watchdog_context() const;
+
   SimTime now_;
   std::uint64_t delta_count_ = 0;
   Stats stats_;
@@ -117,6 +203,11 @@ private:
   bool initialized_ = false;
   bool running_ = false;
   bool stop_requested_ = false;
+
+  RunBudget budget_;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+  static thread_local RunBudget thread_default_budget_;
+  static thread_local const std::atomic<bool>* thread_default_cancel_;
 
   std::vector<Object*> objects_;
   std::vector<Process*> processes_;

@@ -18,6 +18,9 @@ Process::Process(Module* parent, std::string name) : Object(parent, std::move(na
 }
 
 Process::~Process() {
+  // ~Event clears both lists below for whichever events died first, so
+  // every pointer still present here is alive.
+  if (dynamic_wait_event_) dynamic_wait_event_->remove_dynamic(*this);
   for (Event* ev : static_events_) ev->remove_static(*this);
   kernel().unregister_process(*this);
 }

@@ -58,6 +58,7 @@ private:
 
   bool in_runnable_ = false;     ///< dedup flag while queued
   bool initialize_ = true;       ///< run once at simulation start
+  Event* dynamic_wait_event_ = nullptr;  ///< event currently awaited, if any
 };
 
 /// A callback process (SC_METHOD analogue). The callback runs to

@@ -26,8 +26,15 @@ TEST(FaultySlave, RejectsBadConfigs) {
   EXPECT_THROW(FaultySlave(&b.top, "f2", b.bus, {.fail_every_n = 0}), SimError);
   EXPECT_THROW(FaultySlave(&b.top, "f3", b.bus, {.failure = Resp::kOkay}),
                SimError);
-  EXPECT_THROW(FaultySlave(&b.top, "f4", b.bus, {.failure = Resp::kSplit}),
+  // kSplit is a legal failure mode now, but needs a resume delay.
+  EXPECT_THROW(FaultySlave(&b.top, "f4", b.bus,
+                           {.failure = Resp::kSplit, .split_resume_cycles = 0}),
                SimError);
+  // kSplit with the default resume delay is accepted.  (A fresh address
+  // range: the throwing constructors above already claimed the default
+  // one in the decoder before their config checks fired.)
+  EXPECT_NO_THROW(FaultySlave(&b.top, "f5", b.bus,
+                              {.base = 0x4000, .failure = Resp::kSplit}));
 }
 
 TEST(FaultySlave, RetryResponseReachesMaster) {
@@ -120,6 +127,94 @@ TEST(FaultySlave, FailureCadenceIsExact) {
   ASSERT_TRUE(m.finished());
   EXPECT_EQ(fs.stats().failures, 3u);   // transfers 3, 6, 9
   EXPECT_EQ(fs.stats().ok_writes, 6u);
+}
+
+TEST(FaultySlave, SplitReworkEventuallySucceeds) {
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  ScriptedMaster m(&b.top, "m", b.bus,
+                   {write_op(0x30, 0xCAFE), read_op(0x30)},
+                   ScriptedMaster::Options{.retry = true});
+  // Every 2nd transfer SPLITs: the arbiter masks the master, the slave's
+  // resume countdown re-grants it, and the re-issued transfer lands.
+  FaultySlave fs(&b.top, "fs", b.bus,
+                 {.base = 0,
+                  .size = 0x1000,
+                  .fail_every_n = 2,
+                  .failure = Resp::kSplit,
+                  .split_resume_cycles = 3});
+  b.bus.finalize();
+  BusMonitor mon(&b.top, "mon", b.bus, BusMonitor::Config{.fatal = false});
+
+  b.run_cycles(200);
+  ASSERT_TRUE(m.finished());
+  ASSERT_EQ(m.results().size(), 2u);
+  EXPECT_EQ(m.results()[0].resp, Resp::kOkay);
+  EXPECT_EQ(m.results()[1].resp, Resp::kOkay);
+  EXPECT_EQ(m.results()[1].data, 0xCAFEu);
+  EXPECT_GT(m.splits(), 0u);
+  EXPECT_EQ(fs.peek(0x30), 0xCAFEu);
+  EXPECT_GT(b.bus.arbiter().split_count(), 0u);
+  EXPECT_EQ(b.bus.arbiter().split_mask(), 0u);  // every split resumed
+  EXPECT_TRUE(mon.violations().empty()) << mon.violations()[0];
+  EXPECT_GT(mon.stats().split_responses, 0u);
+}
+
+TEST(FaultySlave, SplitRetryExhaustionGivesUp) {
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  ScriptedMaster m(&b.top, "m", b.bus, {write_op(0x10, 1)},
+                   ScriptedMaster::Options{.retry = true, .max_retries = 3});
+  FaultySlave fs(&b.top, "fs", b.bus,
+                 {.base = 0,
+                  .size = 0x1000,
+                  .fail_every_n = 1,  // always SPLITs
+                  .failure = Resp::kSplit,
+                  .split_resume_cycles = 2});
+  b.bus.finalize();
+  b.run_cycles(300);
+  ASSERT_TRUE(m.finished());
+  EXPECT_EQ(m.retries(), 3u);
+  EXPECT_EQ(m.splits(), 3u);
+  EXPECT_EQ(m.results()[0].resp, Resp::kSplit);  // gave up, recorded SPLIT
+  EXPECT_EQ(fs.stats().ok_writes, 0u);
+}
+
+TEST(MemorySlave, FaultHookInjectsSplitRework) {
+  // The MemorySlave hook path: every 3rd transfer SPLITs, everything
+  // retried to completion, memory ends up consistent.
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  std::vector<Op> script;
+  for (int i = 0; i < 6; ++i) script.push_back(write_op(0x100 + 4 * i, 0xB0 + i));
+  for (int i = 0; i < 6; ++i) script.push_back(read_op(0x100 + 4 * i));
+  ScriptedMaster m(&b.top, "m", b.bus, script,
+                   ScriptedMaster::Options{.retry = true, .max_retries = 8});
+  MemorySlave ms(&b.top, "ms", b.bus,
+                 {.base = 0,
+                  .size = 0x1000,
+                  .wait_states = 0,
+                  .fault_hook = [](const FaultQuery& q) {
+                    FaultDecision d;
+                    if (q.transfer_index % 3 == 2) {
+                      d.resp = Resp::kSplit;
+                      d.split_resume_cycles = 2;
+                    }
+                    return d;
+                  }});
+  b.bus.finalize();
+  BusMonitor mon(&b.top, "mon", b.bus, BusMonitor::Config{.fatal = false});
+  b.run_cycles(400);
+  ASSERT_TRUE(m.finished());
+  ASSERT_EQ(m.results().size(), script.size());
+  for (std::size_t i = 0; i < m.results().size(); ++i) {
+    EXPECT_EQ(m.results()[i].resp, Resp::kOkay) << "op " << i;
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(ms.peek(0x100 + 4 * i), 0xB0u + static_cast<unsigned>(i));
+  }
+  EXPECT_GT(ms.stats().splits, 0u);
+  EXPECT_TRUE(mon.violations().empty()) << mon.violations()[0];
 }
 
 TEST(FaultySlave, PowerAnalysisSeesRetryTraffic) {

@@ -189,6 +189,74 @@ TEST(Monitor, CleanTrafficProducesNoViolations) {
   EXPECT_TRUE(mon.violations().empty());
 }
 
+TEST(Monitor, DefaultSlaveTwoCycleErrorIsClean) {
+  // Regression for the two-cycle-response check: the default slave's
+  // unmapped-address ERROR is a well-formed two-cycle response, so the
+  // monitor must record the error without flagging a violation.
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  ScriptedMaster m(&b.top, "m", b.bus,
+                   {{ScriptedMaster::Op::Kind::kWrite, 0x5000, 1, 0},
+                    {ScriptedMaster::Op::Kind::kWrite, 0x10, 2, 0}},
+                   ScriptedMaster::Options{.retry = false});
+  MemorySlave mem(&b.top, "mem", b.bus, {.base = 0, .size = 0x1000});
+  b.bus.finalize();
+  BusMonitor mon(&b.top, "mon", b.bus, BusMonitor::Config{.fatal = false});
+  b.run_cycles(60);
+  ASSERT_TRUE(m.finished());
+  ASSERT_EQ(m.results().size(), 2u);
+  EXPECT_EQ(m.results()[0].resp, Resp::kError);  // 0x5000 is unmapped
+  EXPECT_EQ(m.results()[1].resp, Resp::kOkay);
+  EXPECT_EQ(mon.stats().error_responses, 1u);
+  EXPECT_TRUE(mon.violations().empty()) << mon.violations()[0];
+}
+
+/// A slave that answers every transfer with a single-cycle ERROR --
+/// HREADY stays high on the first response cycle, violating the
+/// two-cycle rule.
+struct SingleCycleErrorSlave : AhbSlave {
+  SingleCycleErrorSlave(sim::Module* p, AhbBus& bus)
+      : AhbSlave(p, "badslave", bus, 0, 0x1000),
+        proc_(this, "clocked", [this] { on_clock(); }) {
+    sig_.hreadyout.write(true);
+    sig_.hresp.write(raw(Resp::kOkay));
+    proc_.sensitive(clock().posedge_event()).dont_initialize();
+  }
+  void on_clock() {
+    BusSignals& bus = bus_signals();
+    if (erroring_) {
+      sig_.hresp.write(raw(Resp::kOkay));
+      erroring_ = false;
+      return;
+    }
+    if (selected() && is_active(static_cast<Trans>(bus.htrans.read())) &&
+        bus.hready.read()) {
+      sig_.hresp.write(raw(Resp::kError));  // HREADY left high: illegal
+      erroring_ = true;
+    }
+  }
+  sim::Method proc_;
+  bool erroring_ = false;
+};
+
+TEST(Monitor, CatchesSingleCycleErrorResponse) {
+  Bench b;
+  DefaultMaster dm(&b.top, "dm", b.bus);
+  ScriptedMaster m(&b.top, "m", b.bus,
+                   {{ScriptedMaster::Op::Kind::kWrite, 0x10, 1, 0}},
+                   ScriptedMaster::Options{.retry = false});
+  SingleCycleErrorSlave bad(&b.top, b.bus);
+  b.bus.finalize();
+  BusMonitor mon(&b.top, "mon", b.bus, BusMonitor::Config{.fatal = false});
+  b.run_cycles(40);
+  bool found = false;
+  for (const auto& v : mon.violations()) {
+    if (v.find("single-cycle") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << (mon.violations().empty() ? "no violations"
+                                                  : mon.violations()[0]);
+}
+
 TEST(Monitor, StatsClassifyCycleTypes) {
   Bench b;
   DefaultMaster dm(&b.top, "dm", b.bus);

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -107,8 +108,108 @@ TEST(Campaign, ThrowingSpecIsCapturedOthersComplete) {
   ASSERT_EQ(outcomes.size(), 3u);
   EXPECT_TRUE(outcomes[0].ok);
   EXPECT_FALSE(outcomes[1].ok);
-  EXPECT_EQ(outcomes[1].error, "intentional failure");
+  EXPECT_EQ(outcomes[1].status, RunStatus::kFailed);
+  // The error names the spec, then carries the exception text.
+  EXPECT_EQ(outcomes[1].error.find("spec[1] boom: "), 0u) << outcomes[1].error;
+  EXPECT_NE(outcomes[1].error.find("intentional failure"), std::string::npos);
   EXPECT_TRUE(outcomes[2].ok);
+}
+
+/// A spec that simulates forever: a free-running clock and an unbounded
+/// run() call. Only a campaign budget can end it.
+RunSpec hung_spec() {
+  return {"hung", [] {
+            sim::Kernel kernel;
+            sim::Module top(nullptr, "top");
+            sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5,
+                           sim::SimTime::ns(10));
+            kernel.run();
+            return PowerReport{};
+          }};
+}
+
+TEST(Campaign, HungAndCrashingSpecsDegradeOthersUnaffected) {
+  // The acceptance scenario: one hung spec, one crashing spec, two
+  // healthy ones. The campaign completes, classifies both casualties
+  // with wall times, and the healthy runs' joules are bit-identical to
+  // a fault-free rerun of the same seeds.
+  std::vector<RunSpec> specs;
+  specs.push_back(ahb_spec(7, 0));
+  specs.push_back(hung_spec());
+  specs.push_back({"crash", []() -> PowerReport {
+                     throw std::runtime_error("intentional crash");
+                   }});
+  specs.push_back(ahb_spec(9, 1));
+
+  Campaign::Config cfg;
+  cfg.threads = 2;
+  // Generous enough for the healthy ~1000-advance runs, fatal for the
+  // unbounded one.
+  cfg.run_budget.max_cycles = 100000;
+  const auto outcomes = Campaign(cfg).run(specs);
+
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  EXPECT_TRUE(outcomes[3].ok) << outcomes[3].error;
+
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[1].status, RunStatus::kTimedOut);
+  EXPECT_GT(outcomes[1].wall_seconds, 0.0);
+  EXPECT_EQ(outcomes[1].error.find("spec[1] hung: "), 0u) << outcomes[1].error;
+  EXPECT_NE(outcomes[1].error.find("max-cycle budget"), std::string::npos);
+
+  EXPECT_FALSE(outcomes[2].ok);
+  EXPECT_EQ(outcomes[2].status, RunStatus::kFailed);
+  EXPECT_GE(outcomes[2].wall_seconds, 0.0);
+  EXPECT_NE(outcomes[2].error.find("intentional crash"), std::string::npos);
+
+  // Fault-free rerun of the surviving seeds, unlimited budget.
+  const auto clean = Campaign(Campaign::Config{.threads = 2})
+                         .run({ahb_spec(7, 0), ahb_spec(9, 1)});
+  ASSERT_TRUE(clean[0].ok);
+  ASSERT_TRUE(clean[1].ok);
+  EXPECT_EQ(std::memcmp(&outcomes[0].report.total_energy,
+                        &clean[0].report.total_energy, sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&outcomes[3].report.total_energy,
+                        &clean[1].report.total_energy, sizeof(double)),
+            0);
+}
+
+TEST(Campaign, RetryTransientSalvagesATransientCrash) {
+  std::atomic<int> calls{0};
+  std::vector<RunSpec> specs;
+  specs.push_back({"flaky", [&]() -> PowerReport {
+                     if (calls.fetch_add(1) == 0) {
+                       throw std::runtime_error("transient");
+                     }
+                     return PowerReport{};
+                   }});
+  specs.push_back({"doomed", []() -> PowerReport {
+                     throw std::runtime_error("deterministic");
+                   }});
+  Campaign::Config cfg;
+  cfg.threads = 1;
+  cfg.retry_transient = true;
+  const auto outcomes = Campaign(cfg).run(specs);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  EXPECT_EQ(outcomes[0].attempts, 2u);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[1].attempts, 2u);
+  EXPECT_EQ(outcomes[1].status, RunStatus::kFailed);
+}
+
+TEST(Campaign, WallDeadlineCancelsUnstartedSpecs) {
+  Campaign::Config cfg;
+  cfg.threads = 1;
+  cfg.campaign_wall_seconds = 1e-9;  // passed before the first claim
+  const auto outcomes = Campaign(cfg).run(sample_specs());
+  for (const RunOutcome& o : outcomes) {
+    EXPECT_FALSE(o.ok);
+    EXPECT_EQ(o.status, RunStatus::kCancelled);
+    EXPECT_EQ(o.attempts, 0u);
+    EXPECT_NE(o.error.find("not started"), std::string::npos) << o.error;
+  }
 }
 
 TEST(Campaign, EmptySpecListYieldsEmptyOutcomes) {

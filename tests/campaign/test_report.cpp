@@ -43,12 +43,13 @@ TEST(CampaignReport, GoldenStructure) {
   const auto outcomes = pool.run({synthetic_spec("a", 1.5)});
   EXPECT_EQ(render(outcomes, 1),
             "{\n"
-            "  \"schema\": \"ahbpower.campaign.v2\",\n"
+            "  \"schema\": \"ahbpower.campaign.v3\",\n"
             "  \"name\": \"test\",\n"
             "  \"cycles\": 100,\n"
             "  \"threads\": 1,\n"
             "  \"runs\": [\n"
-            "    {\"index\": 0, \"name\": \"a\", \"ok\": true, \"cycles\": "
+            "    {\"index\": 0, \"name\": \"a\", \"ok\": true, \"status\": "
+            "\"ok\", \"cycles\": "
             "100, \"transfers\": 42, \"total_energy_j\": 1.5, \"blocks_j\": "
             "{\"arb\": 0.375, \"dec\": 0.375, \"m2s\": 0.375, \"s2m\": "
             "0.375}, \"metrics\": {\"alpha\": 1, \"zeta\": 2}}\n"
@@ -96,12 +97,28 @@ TEST(CampaignReport, CapturesFailures) {
   const auto outcomes = pool.run(specs);
   const std::string json = render(outcomes, 1);
   EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
   EXPECT_NE(json.find("deliberate"), std::string::npos);
   EXPECT_NE(json.find("\"failed\": 1"), std::string::npos);
   // Aggregate energy statistics cover successful runs only.
   EXPECT_NE(json.find("\"total_energy_j\": 2, \"min_energy_j\": 2, "
                       "\"max_energy_j\": 2"),
             std::string::npos);
+  // v3: failed runs are listed again in the degraded block, with the
+  // wall time and attempt count that healthy output must not carry.
+  EXPECT_NE(json.find("\"degraded\": {\"count\": 1, \"failed\": 1, "
+                      "\"timed_out\": 0, \"cancelled\": 0"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"wall_seconds\": "), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\": 1"), std::string::npos);
+}
+
+TEST(CampaignReport, NoDegradedBlockWhenAllRunsSucceed) {
+  const Campaign pool(Campaign::Config{.threads = 1});
+  const std::string json = render(pool.run({synthetic_spec("a", 1.0)}), 1);
+  EXPECT_EQ(json.find("\"degraded\""), std::string::npos);
+  EXPECT_EQ(json.find("wall_seconds"), std::string::npos);
 }
 
 TEST(CampaignReport, ByteIdenticalAcrossThreadCounts) {

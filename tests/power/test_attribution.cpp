@@ -70,6 +70,57 @@ TEST(Attribution, AsymmetricWorkloadsShowAsymmetricShares) {
   EXPECT_GT(per[1], 3 * per[2]);
 }
 
+TEST(Attribution, SplitReworkConservesEnergy) {
+  // SPLIT rework traffic -- two-cycle responses, masked-master handover
+  // cycles, resume re-grants, re-issued transfers -- must attribute
+  // conservation-exact: per-master energies sum to the PowerFsm total
+  // within 1e-9 relative error.
+  sim::Kernel k;
+  sim::Module top(nullptr, "top");
+  sim::Clock clk(&top, "clk", sim::SimTime::ns(10), 0.5, sim::SimTime::ns(10));
+  AhbBus bus(&top, "ahb", clk);
+  DefaultMaster dm(&top, "dm", bus);
+  std::vector<ahb::ScriptedMaster::Op> script;
+  for (int i = 0; i < 24; ++i) {
+    script.push_back({i % 2 ? ahb::ScriptedMaster::Op::Kind::kRead
+                            : ahb::ScriptedMaster::Op::Kind::kWrite,
+                      0x100u + 4u * static_cast<std::uint32_t>(i / 2),
+                      0xC0DE0000u + static_cast<std::uint32_t>(i), 0});
+  }
+  ahb::ScriptedMaster m1(&top, "m1", bus, script,
+                         ahb::ScriptedMaster::Options{.retry = true,
+                                                      .max_retries = 8});
+  TrafficMaster m2(&top, "m2", bus,
+                   {.addr_base = 0x1000, .addr_range = 0x1000, .seed = 72});
+  // Every 3rd transfer to s1 SPLITs; s2 stays clean.
+  MemorySlave s1(&top, "s1", bus,
+                 {.base = 0x0000,
+                  .size = 0x1000,
+                  .fault_hook = [](const ahb::FaultQuery& q) {
+                    ahb::FaultDecision d;
+                    if (q.transfer_index % 3 == 1) {
+                      d.resp = ahb::Resp::kSplit;
+                      d.split_resume_cycles = 3;
+                    }
+                    return d;
+                  }});
+  MemorySlave s2(&top, "s2", bus, {.base = 0x1000, .size = 0x1000});
+  bus.finalize();
+  AhbPowerEstimator est(&top, "power", bus);
+  k.run(sim::SimTime::us(30));
+
+  ASSERT_TRUE(m1.finished());
+  EXPECT_GT(m1.splits(), 0u);
+  EXPECT_GT(s1.stats().splits, 0u);
+
+  const auto& per = est.fsm().per_master_energy();
+  ASSERT_EQ(per.size(), 3u);
+  double sum = 0.0;
+  for (double e : per) sum += e;
+  EXPECT_NEAR(sum, est.total_energy(), est.total_energy() * 1e-9);
+  EXPECT_GT(per[1], 0.0);  // the split-and-reworked master still pays
+}
+
 TEST(Attribution, ReportFormatsNamesAndShares) {
   PowerFsm fsm(PowerFsm::Config{.n_masters = 2, .n_slaves = 2});
   CycleView v;

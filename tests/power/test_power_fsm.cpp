@@ -145,8 +145,10 @@ TEST(PowerFsm, PerInstructionAverageInPaperBand) {
     fsm.step(write_view(a, d));
     fsm.step(read_view(a, d ^ rng()));
   }
-  const auto& wr = fsm.instructions().at("WRITE_READ");
-  const auto& rw = fsm.instructions().at("READ_WRITE");
+  // instructions() returns by value; keep the map alive before indexing.
+  const auto tab = fsm.instructions();
+  const auto& wr = tab.at("WRITE_READ");
+  const auto& rw = tab.at("READ_WRITE");
   EXPECT_GT(wr.average(), 5e-12);
   EXPECT_LT(wr.average(), 50e-12);
   EXPECT_GT(rw.average(), 5e-12);

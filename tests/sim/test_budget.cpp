@@ -1,0 +1,150 @@
+// Watchdog tests: RunBudget limits, cooperative cancellation, deadlock
+// diagnosis and the per-thread ambient defaults the campaign runner
+// uses to impose budgets on opaque run functions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "sim/sim.hpp"
+
+namespace ahbp::sim {
+namespace {
+
+/// A free-running clock keeps the timed queue busy forever -- the
+/// simulated equivalent of a hung run.
+struct TickingBench {
+  TickingBench()
+      : top(nullptr, "top"),
+        clk(&top, "clk", SimTime::ns(10), 0.5, SimTime::ns(10)) {}
+  Kernel kernel;
+  Module top;
+  Clock clk;
+};
+
+TEST(RunBudget, UnlimitedByDefault) {
+  const RunBudget b;
+  EXPECT_FALSE(b.limited());
+  EXPECT_FALSE(Kernel{}.budget().limited());
+}
+
+TEST(RunBudget, MaxCyclesStopsARunawayClock) {
+  TickingBench b;
+  b.kernel.set_budget(RunBudget{.max_cycles = 50});
+  try {
+    b.kernel.run();  // unbounded: only the budget can stop it
+    FAIL() << "expected BudgetExceededError";
+  } catch (const BudgetExceededError& e) {
+    EXPECT_NE(std::string(e.what()).find("max-cycle budget"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(b.kernel.running());
+  EXPECT_LE(b.kernel.stats().time_advances, 50u);
+}
+
+TEST(RunBudget, MaxEventsCatchesActivationStorm) {
+  TickingBench b;
+  std::uint64_t ticks = 0;
+  Method m(&b.top, "m", [&] { ++ticks; });
+  m.sensitive(b.clk.posedge_event()).dont_initialize();
+  b.kernel.set_budget(RunBudget{.max_events = 100});
+  EXPECT_THROW(b.kernel.run(), BudgetExceededError);
+  EXPECT_LE(b.kernel.stats().processes_executed, 101u);
+}
+
+TEST(RunBudget, WallDeadlineStopsTheRun) {
+  TickingBench b;
+  b.kernel.set_budget(RunBudget{.max_wall_seconds = 0.05});
+  EXPECT_THROW(b.kernel.run(), BudgetExceededError);
+}
+
+TEST(RunBudget, BudgetCountsPerRunCall) {
+  // Limits restart with each run() call: two bounded runs inside one
+  // generous budget must both complete normally.
+  TickingBench b;
+  b.kernel.set_budget(RunBudget{.max_cycles = 100});
+  EXPECT_NO_THROW(b.kernel.run(SimTime::ns(200)));
+  EXPECT_NO_THROW(b.kernel.run(SimTime::ns(200)));
+}
+
+TEST(RunBudget, CancelFlagAbortsCooperatively) {
+  TickingBench b;
+  std::atomic<bool> cancel{false};
+  b.kernel.set_cancel_flag(&cancel);
+  // A bounded run with the flag clear completes...
+  EXPECT_NO_THROW(b.kernel.run(SimTime::ns(100)));
+  // ...and an unbounded one aborts as soon as another thread sets it.
+  std::thread setter([&] { cancel.store(true); });
+  try {
+    b.kernel.run();
+    FAIL() << "expected RunCancelledError";
+  } catch (const RunCancelledError& e) {
+    EXPECT_NE(std::string(e.what()).find("run cancelled"), std::string::npos);
+  }
+  setter.join();
+}
+
+TEST(RunBudget, DeadlockDiagnosisNamesBlockedProcesses) {
+  Kernel kernel;
+  Module top(nullptr, "top");
+  Event never(&top, "never");
+  Thread t(&top, "stuck", [&]() -> Task { co_await wait(never); });
+  kernel.set_budget(RunBudget{.fail_on_deadlock = true});
+  try {
+    kernel.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos) << what;
+    EXPECT_NE(what.find("top.stuck"), std::string::npos) << what;
+  }
+}
+
+TEST(RunBudget, CleanFinishIsNotADeadlock) {
+  Kernel kernel;
+  Module top(nullptr, "top");
+  Event ev(&top, "ev");
+  Thread t(&top, "ok", [&]() -> Task { co_await wait(ev); });
+  ev.notify(SimTime::ns(5));
+  kernel.set_budget(RunBudget{.fail_on_deadlock = true});
+  EXPECT_NO_THROW(kernel.run());
+}
+
+TEST(RunBudget, BlockedProcessesListsOnlySuspendedThreads) {
+  Kernel kernel;
+  Module top(nullptr, "top");
+  Event never(&top, "never");
+  Event soon(&top, "soon");
+  Thread stuck(&top, "stuck", [&]() -> Task { co_await wait(never); });
+  Thread done(&top, "done", [&]() -> Task { co_await wait(soon); });
+  Method m(&top, "method", [] {});
+  soon.notify(SimTime::ns(1));
+  kernel.run();
+  const auto blocked = kernel.blocked_processes();
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_EQ(blocked[0], "top.stuck");
+}
+
+TEST(RunBudget, ThreadDefaultsApplyToNewKernels) {
+  std::atomic<bool> cancel{false};
+  Kernel::set_thread_defaults(RunBudget{.max_cycles = 25}, &cancel);
+  std::uint64_t advances = 0;
+  try {
+    TickingBench b;  // constructed after: inherits the ambient budget
+    EXPECT_EQ(b.kernel.budget().max_cycles, 25u);
+    EXPECT_THROW(b.kernel.run(), BudgetExceededError);
+    advances = b.kernel.stats().time_advances;
+  } catch (...) {
+    Kernel::clear_thread_defaults();
+    throw;
+  }
+  Kernel::clear_thread_defaults();
+  EXPECT_LE(advances, 25u);
+  // Defaults cleared: the next kernel is unlimited again.
+  EXPECT_FALSE(Kernel{}.budget().limited());
+}
+
+}  // namespace
+}  // namespace ahbp::sim

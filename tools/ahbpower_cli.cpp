@@ -25,8 +25,15 @@
 //     --sweep           campaign mode: sweep policy x waits on a
 //                       multi-core pool, print one row per config
 //     --jobs N          worker threads for --sweep (0 = all cores)
+//     --faults SEED     deterministic fault injection on every slave
+//                       (2% RETRY, 0.5% ERROR, 5% wait-state jitter per
+//                       transfer, scheduled by SEED); adds ahb.fault.*
+//                       counters to --telemetry metrics
+//     --run-budget S    wall-clock budget per run in seconds; a run
+//                       exceeding it is aborted (status timed_out in
+//                       --sweep, exit code 3 otherwise)
 //
-// Exit code 0 on success, 2 on bad usage.
+// Exit code 0 on success, 2 on bad usage, 3 on an aborted run.
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +47,7 @@
 #include "ahb/ahb.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/report.hpp"
+#include "fault/injector.hpp"
 #include "power/power.hpp"
 #include "sim/sim.hpp"
 #include "telemetry/telemetry.hpp"
@@ -65,6 +73,9 @@ struct Options {
   bool quiet = false;
   bool sweep = false;
   bool txn_trace = false;
+  bool faults = false;
+  std::uint64_t fault_seed = 1;
+  double run_budget_s = 0.0;
   unsigned jobs = 0;
   std::string csv;
   std::string trace_out;
@@ -78,7 +89,7 @@ struct Options {
                "          [--telemetry DIR] [--txn-trace]\n"
                "          [--table] [--breakdown] [--attribution] [--activity]\n"
                "          [--csv FILE] [--trace-out FILE] [--quiet]\n"
-               "          [--sweep] [--jobs N]\n",
+               "          [--sweep] [--jobs N] [--faults SEED] [--run-budget S]\n",
                argv0);
   std::exit(2);
 }
@@ -134,6 +145,12 @@ Options parse(int argc, char** argv) {
       o.sweep = true;
     } else if (a == "--jobs") {
       o.jobs = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 0));
+    } else if (a == "--faults") {
+      o.faults = true;
+      o.fault_seed = std::strtoull(need_value(i), nullptr, 0);
+    } else if (a == "--run-budget") {
+      o.run_budget_s = std::strtod(need_value(i), nullptr);
+      if (o.run_budget_s <= 0.0) usage(argv[0]);
     } else {
       usage(argv[0]);
     }
@@ -167,6 +184,29 @@ std::ofstream open_output(const std::string& dir, const char* name) {
   return out;
 }
 
+/// The --faults rate card: uniform seed-driven RETRY / ERROR /
+/// wait-state jitter on every slave. SPLIT stays off here because the
+/// pipelined TrafficMaster does not rework split transfers (the
+/// serialized ScriptedMaster does; see tests/ahb/test_faults.cpp).
+fault::SlaveFaultConfig cli_fault_rates() {
+  fault::SlaveFaultConfig rates;
+  rates.retry_rate = 0.02;
+  rates.error_rate = 0.005;
+  rates.jitter_rate = 0.05;
+  rates.max_extra_waits = 3;
+  return rates;
+}
+
+/// The injector for one run, or null when --faults is off. The caller
+/// keeps it alive for the whole simulation: slave hooks point into it.
+std::unique_ptr<fault::FaultInjector> make_injector(
+    const Options& o, telemetry::MetricsRegistry* metrics) {
+  if (!o.faults) return nullptr;
+  return std::make_unique<fault::FaultInjector>(
+      fault::FaultPlan::uniform(o.fault_seed, cli_fault_rates(), o.slaves),
+      metrics);
+}
+
 /// One --sweep configuration as a campaign spec: the CLI topology with
 /// a given arbitration policy and wait-state count, run for o.cycles.
 campaign::RunSpec sweep_spec(const Options& o, ahb::ArbitrationPolicy policy,
@@ -196,13 +236,17 @@ campaign::RunSpec sweep_spec(const Options& o, ahb::ArbitrationPolicy policy,
                       .seed = run.seed + 97 * m,
                   }));
             }
+            auto injector = make_injector(run, nullptr);
             std::vector<std::unique_ptr<ahb::MemorySlave>> slaves;
             for (unsigned s = 0; s < run.slaves; ++s) {
               slaves.push_back(std::make_unique<ahb::MemorySlave>(
                   &top, "s" + std::to_string(s + 1), bus,
-                  ahb::MemorySlave::Config{.base = 0x1000u * s,
-                                           .size = 0x1000,
-                                           .wait_states = run.waits}));
+                  ahb::MemorySlave::Config{
+                      .base = 0x1000u * s,
+                      .size = 0x1000,
+                      .wait_states = run.waits,
+                      .fault_hook = injector ? injector->hook(s)
+                                             : ahb::FaultHook{}}));
             }
             bus.finalize();
             ahb::BusMonitor mon(&top, "monitor", bus,
@@ -240,7 +284,12 @@ int run_sweep(const Options& o) {
       specs.push_back(sweep_spec(o, policy, waits));
     }
   }
-  const campaign::Campaign pool(campaign::Campaign::Config{.threads = o.jobs});
+  campaign::Campaign::Config pool_cfg;
+  pool_cfg.threads = o.jobs;
+  if (o.run_budget_s > 0.0) {
+    pool_cfg.run_budget.max_wall_seconds = o.run_budget_s;
+  }
+  const campaign::Campaign pool(pool_cfg);
   const auto outcomes = pool.run(specs);
 
   std::printf("ahbpower sweep: %zu configs, %llu cycles each, %u threads\n",
@@ -251,7 +300,8 @@ int run_sweep(const Options& o) {
   int rc = 0;
   for (const auto& out : outcomes) {
     if (!out.ok) {
-      std::printf("%-10s | failed: %s\n", out.name.c_str(), out.error.c_str());
+      std::printf("%-10s | %s: %s\n", out.name.c_str(),
+                  campaign::to_string(out.status), out.error.c_str());
       rc = 1;
       continue;
     }
@@ -283,7 +333,11 @@ int main(int argc, char** argv) {
   if (o.sweep) return run_sweep(o);
 
   telemetry::MetricsRegistry metrics;
+  const bool telemetry_on = !o.telemetry_dir.empty();
   sim::Kernel kernel;
+  if (o.run_budget_s > 0.0) {
+    kernel.set_budget(sim::RunBudget{.max_wall_seconds = o.run_budget_s});
+  }
   sim::Module top(nullptr, "top");
   sim::Clock clk(&top, "clk", sim::SimTime::ns(kClockNs), 0.5,
                  sim::SimTime::ns(kClockNs));
@@ -300,17 +354,19 @@ int main(int argc, char** argv) {
             .seed = o.seed + 97 * m,
         }));
   }
+  auto injector = make_injector(o, telemetry_on ? &metrics : nullptr);
   std::vector<std::unique_ptr<ahb::MemorySlave>> slaves;
   for (unsigned s = 0; s < o.slaves; ++s) {
     slaves.push_back(std::make_unique<ahb::MemorySlave>(
         &top, "s" + std::to_string(s + 1), bus,
-        ahb::MemorySlave::Config{.base = 0x1000u * s,
-                                 .size = 0x1000,
-                                 .wait_states = o.waits}));
+        ahb::MemorySlave::Config{
+            .base = 0x1000u * s,
+            .size = 0x1000,
+            .wait_states = o.waits,
+            .fault_hook = injector ? injector->hook(s) : ahb::FaultHook{}}));
   }
   bus.finalize();
 
-  const bool telemetry_on = !o.telemetry_dir.empty();
   ahb::BusMonitor::Config mon_cfg{.fatal = false,
                                   .metrics = telemetry_on ? &metrics : nullptr};
   ahb::BusMonitor mon(&top, "monitor", bus, mon_cfg);
@@ -329,7 +385,13 @@ int main(int argc, char** argv) {
     recorder = std::make_unique<ahb::TraceRecorder>(&top, "recorder", bus);
   }
 
-  kernel.run(sim::SimTime::ns(kClockNs) * static_cast<std::int64_t>(o.cycles));
+  try {
+    kernel.run(sim::SimTime::ns(kClockNs) *
+               static_cast<std::int64_t>(o.cycles));
+  } catch (const sim::BudgetExceededError& e) {
+    std::fprintf(stderr, "run aborted: %s\n", e.what());
+    return 3;
+  }
   est.flush_telemetry();
 
   const double secs = kernel.now().to_seconds();
@@ -342,6 +404,17 @@ int main(int argc, char** argv) {
               100.0 * power::data_transfer_share(est.fsm()),
               100.0 * power::arbitration_share(est.fsm()),
               mon.violations().size());
+  if (injector) {
+    const fault::FaultInjector::Stats& fs = injector->stats();
+    std::printf("faults (seed %llu): %llu transfers hit | %llu retries | "
+                "%llu errors | %llu jitter cycles\n",
+                static_cast<unsigned long long>(o.fault_seed),
+                static_cast<unsigned long long>(fs.retries + fs.errors +
+                                                fs.splits + fs.jitter_hits),
+                static_cast<unsigned long long>(fs.retries),
+                static_cast<unsigned long long>(fs.errors),
+                static_cast<unsigned long long>(fs.jitter_cycles));
+  }
 
   if (telemetry_on) {
     const telemetry::ExportMeta meta{.tick_ns = static_cast<double>(kClockNs),

@@ -17,8 +17,11 @@
 // "ahbpower.txns.v1" the analogous guarantee is enforced twice over:
 // per-transaction energies + bus_energy_j == total_energy_j, and
 // per-master attributed energies + bus_energy_j == total_energy_j. For
-// "ahbpower.campaign.v2" every run carrying an attribution block must
-// satisfy attributed master energies + bus_energy_j == total_energy_j.
+// "ahbpower.campaign.v2"/"v3" every run carrying an attribution block
+// must satisfy attributed master energies + bus_energy_j ==
+// total_energy_j. v3 artifacts additionally get their degraded block
+// cross-checked: per-run "ok"/"status" consistency, the block's counts
+// against the run list, and one degraded entry per non-ok run.
 //
 // Exit 0 when valid, 1 on a contract violation, 2 on bad usage / I/O.
 
@@ -383,6 +386,72 @@ void check_campaign_attribution(const Value& doc,
   }
 }
 
+/// Degraded-block consistency for campaign.v3 artifacts.
+void check_campaign_degraded(const Value& doc,
+                             std::vector<std::string>& errors) {
+  const Value* runs = doc.find("runs");
+  if (runs == nullptr) return;
+
+  std::size_t not_ok = 0;
+  std::size_t n_failed = 0;
+  std::size_t n_timed_out = 0;
+  std::size_t n_cancelled = 0;
+  for (std::size_t i = 0; i < runs->array.size(); ++i) {
+    const Value& run = runs->array[i];
+    const Value* ok = run.find("ok");
+    const Value* status = run.find("status");
+    if (ok == nullptr || status == nullptr) continue;  // schema already flagged
+    const std::string& s = status->string;
+    if (s != "ok" && s != "failed" && s != "timed_out" && s != "cancelled") {
+      errors.push_back("runs[" + std::to_string(i) + "].status: unknown value \"" +
+                       s + "\"");
+      continue;
+    }
+    if (ok->boolean != (s == "ok")) {
+      errors.push_back("runs[" + std::to_string(i) +
+                       "]: \"ok\" disagrees with status \"" + s + "\"");
+    }
+    if (s == "ok") continue;
+    ++not_ok;
+    if (s == "failed") ++n_failed;
+    if (s == "timed_out") ++n_timed_out;
+    if (s == "cancelled") ++n_cancelled;
+  }
+
+  const Value* degraded = doc.find("degraded");
+  if (degraded == nullptr) {
+    if (not_ok != 0) {
+      errors.push_back("degraded: block missing although " +
+                       std::to_string(not_ok) + " run(s) did not complete");
+    }
+    return;
+  }
+  if (not_ok == 0) {
+    errors.push_back("degraded: block present although every run completed");
+    return;
+  }
+  auto check_count = [&](const char* key, std::size_t expected) {
+    const Value* c = degraded->find(key);
+    if (c != nullptr && static_cast<std::size_t>(c->number) != expected) {
+      errors.push_back(std::string("degraded.") + key + ": " +
+                       std::to_string(static_cast<std::size_t>(c->number)) +
+                       " does not match the run list (" +
+                       std::to_string(expected) + ")");
+    }
+  };
+  check_count("count", not_ok);
+  check_count("failed", n_failed);
+  check_count("timed_out", n_timed_out);
+  check_count("cancelled", n_cancelled);
+  if (const Value* druns = degraded->find("runs")) {
+    if (druns->array.size() != not_ok) {
+      errors.push_back("degraded.runs: " + std::to_string(druns->array.size()) +
+                       " entries for " + std::to_string(not_ok) +
+                       " non-ok run(s)");
+    }
+  }
+}
+
 Value parse_file(const char* path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error(std::string("cannot read ") + path);
@@ -423,8 +492,12 @@ int main(int argc, char** argv) {
     if (id->string == "ahbpower.txns.v1") {
       check_txns_conservation(doc, errors);
     }
-    if (id->string == "ahbpower.campaign.v2") {
+    if (id->string == "ahbpower.campaign.v2" ||
+        id->string == "ahbpower.campaign.v3") {
       check_campaign_attribution(doc, errors);
+    }
+    if (id->string == "ahbpower.campaign.v3") {
+      check_campaign_degraded(doc, errors);
     }
     if (!errors.empty()) {
       for (const std::string& e : errors) {
