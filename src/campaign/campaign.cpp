@@ -4,7 +4,17 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/journal.hpp"
 
 namespace ahbp::campaign {
 
@@ -50,7 +60,8 @@ RunStatus attempt(const RunSpec& spec, std::size_t i, RunOutcome& out) {
 }
 
 /// Executes spec `i` into its pre-allocated outcome slot. Runs on a
-/// pool thread; everything it touches is private to the slot.
+/// pool thread (or inside a forked worker); everything it touches is
+/// private to the slot.
 void execute(const RunSpec& spec, std::size_t i, RunOutcome& out,
              bool retry_transient) {
   out.index = i;
@@ -69,8 +80,9 @@ void execute(const RunSpec& spec, std::size_t i, RunOutcome& out,
       std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Marks a spec that was never started because the campaign deadline
-/// passed before a worker claimed it.
+/// Marks a spec that was never started because the campaign was
+/// cancelled (wall deadline or external cancel) before a worker
+/// claimed it.
 void mark_unstarted(const RunSpec& spec, std::size_t i, RunOutcome& out) {
   out.index = i;
   out.name = spec.name;
@@ -79,8 +91,140 @@ void mark_unstarted(const RunSpec& spec, std::size_t i, RunOutcome& out) {
   out.attempts = 0;
   out.wall_seconds = 0.0;
   out.error = "spec[" + std::to_string(i) + "] " + spec.name +
-              ": not started (campaign wall deadline exceeded)";
+              ": not started (campaign cancelled or deadline exceeded)";
 }
+
+/// Stable names for the signals worker processes realistically die on
+/// (strsignal() is locale-dependent; reports must be deterministic).
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGKILL: return "SIGKILL";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    default: return "signal";
+  }
+}
+
+/// Appends `out` to the journal, remembering the first failure instead
+/// of throwing across a pool thread.
+class JournalSink {
+ public:
+  explicit JournalSink(JournalWriter* writer) : writer_(writer) {}
+
+  void record(const RunOutcome& out) {
+    // Cancelled specs never ran; leaving them out of the journal is
+    // what makes --resume re-execute them.
+    if (writer_ == nullptr || out.status == RunStatus::kCancelled) return;
+    try {
+      writer_->append(out);
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error_.empty()) error_ = e.what();
+      writer_ = nullptr;  // no point journaling further
+    }
+  }
+
+  /// Rethrows a deferred journaling failure on the caller's thread.
+  void rethrow() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_.empty()) throw std::runtime_error(error_);
+  }
+
+ private:
+  JournalWriter* writer_;
+  std::mutex mutex_;
+  std::string error_;
+};
+
+// --- process isolation ------------------------------------------------------
+
+/// One live forked worker and its result pipe.
+struct ChildProc {
+  pid_t pid = -1;
+  int fd = -1;  ///< read end of the result pipe
+  std::size_t index = 0;
+  Clock::time_point start{};
+  std::string buf;       ///< frame bytes received so far
+  unsigned spawns = 1;   ///< process-level attempts (crash respawn)
+  bool killed_timeout = false;
+  bool killed_cancel = false;
+};
+
+/// Decodes the child's framed RunOutcome. Returns false when the frame
+/// is incomplete or fails its checksum -- the child died mid-write.
+bool parse_result_frame(const std::string& buf, RunOutcome& out) {
+  if (buf.size() < 12) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[i]))
+           << (8 * i);
+  }
+  std::uint64_t checksum = 0;
+  for (int i = 0; i < 8; ++i) {
+    checksum |=
+        static_cast<std::uint64_t>(static_cast<unsigned char>(buf[4 + i]))
+        << (8 * i);
+  }
+  if (buf.size() != 12u + len) return false;
+  const std::string_view payload(buf.data() + 12, len);
+  if (fnv1a64(payload) != checksum) return false;
+  return decode_outcome(payload, out);
+}
+
+/// Forks one worker for spec `i`. The child executes the spec with the
+/// campaign's run budget installed, streams its framed outcome through
+/// the pipe and _exits without running atexit handlers (the parent's
+/// buffered state must not be flushed twice).
+ChildProc spawn_worker(const RunSpec& spec, std::size_t i,
+                       const sim::RunBudget& budget, bool retry_transient) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw std::runtime_error("campaign: pipe() failed");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw std::runtime_error("campaign: fork() failed");
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    RunOutcome out;
+    {
+      ThreadDefaultsGuard guard(budget, nullptr);
+      execute(spec, i, out, retry_transient);
+    }
+    const std::string frame = frame_payload(encode_outcome(out));
+    std::string_view rest = frame;
+    while (!rest.empty()) {
+      const ssize_t n = ::write(fds[1], rest.data(), rest.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::_exit(1);
+      }
+      rest.remove_prefix(static_cast<std::size_t>(n));
+    }
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  ChildProc child;
+  child.pid = pid;
+  child.fd = fds[0];
+  child.index = i;
+  child.start = Clock::now();
+  return child;
+}
+
+void run_process_pool(const Campaign::Config& cfg, unsigned threads,
+                      const std::vector<RunSpec>& specs,
+                      std::vector<RunOutcome>& outcomes,
+                      const std::vector<char>& restored, JournalSink& journal,
+                      const std::function<bool()>& cancel_requested);
 
 }  // namespace
 
@@ -90,6 +234,7 @@ const char* to_string(RunStatus s) {
     case RunStatus::kFailed: return "failed";
     case RunStatus::kTimedOut: return "timed_out";
     case RunStatus::kCancelled: return "cancelled";
+    case RunStatus::kCrashed: return "crashed";
   }
   return "unknown";
 }
@@ -103,17 +248,44 @@ unsigned Campaign::hardware_threads() {
 }
 
 std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs) const {
+  return run(specs, RunOptions{});
+}
+
+std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs,
+                                      const RunOptions& opts) const {
   std::vector<RunOutcome> outcomes(specs.size());
   if (specs.empty()) return outcomes;
 
+  // Restore journaled outcomes first: a slot that matches a journal
+  // entry by index and name is already done and must not execute again.
+  // Cancelled entries re-run (they never produced a result).
+  std::vector<char> restored(specs.size(), 0);
+  if (opts.resume != nullptr) {
+    for (const RunOutcome& o : *opts.resume) {
+      if (o.index >= specs.size() || o.name != specs[o.index].name) continue;
+      if (o.status == RunStatus::kCancelled) continue;
+      outcomes[o.index] = o;
+      outcomes[o.index].resumed = true;
+      restored[o.index] = 1;
+    }
+  }
+
+  JournalSink journal(opts.journal);
+
   // Shared cooperative cancel flag: set when the campaign wall deadline
-  // passes; every in-flight kernel polls it once per time advance.
+  // passes or the external cancel request fires; every in-flight kernel
+  // polls it once per time advance.
   std::atomic<bool> cancel{false};
   const auto start = Clock::now();
   const bool deadline_armed = cfg_.campaign_wall_seconds > 0.0;
-  auto deadline_passed = [&] {
-    if (!deadline_armed) return false;
+  auto cancel_requested = [&] {
     if (cancel.load(std::memory_order_relaxed)) return true;
+    if (cfg_.cancel != nullptr &&
+        cfg_.cancel->load(std::memory_order_relaxed)) {
+      cancel.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (!deadline_armed) return false;
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
     if (elapsed >= cfg_.campaign_wall_seconds) {
@@ -123,17 +295,40 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs) const {
     return false;
   };
 
+  if (cfg_.isolation == Isolation::kProcess) {
+    run_process_pool(cfg_, threads_, specs, outcomes, restored, journal,
+                     cancel_requested);
+    journal.rethrow();
+    return outcomes;
+  }
+
+  // Watcher: folds the deadline and the external cancel request into
+  // the shared flag *while runs are in flight* -- without it the flag
+  // would only be (re)checked between claims.
+  std::jthread watcher;
+  if (deadline_armed || cfg_.cancel != nullptr) {
+    watcher = std::jthread([&cancel_requested](const std::stop_token& st) {
+      while (!st.stop_requested()) {
+        if (cancel_requested()) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+
   if (threads_ <= 1 || specs.size() == 1) {
     // Serial baseline: inline on the calling thread. Note the caller's
     // own Kernel (if any) must not be alive -- each spec constructs one.
     ThreadDefaultsGuard guard(cfg_.run_budget, &cancel);
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      if (deadline_passed()) {
+      if (restored[i]) continue;
+      if (cancel_requested()) {
         mark_unstarted(specs[i], i, outcomes[i]);
         continue;
       }
       execute(specs[i], i, outcomes[i], cfg_.retry_transient);
+      journal.record(outcomes[i]);
     }
+    journal.rethrow();
     return outcomes;
   }
 
@@ -152,16 +347,170 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs) const {
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= specs.size()) return;
-          if (deadline_passed()) {
+          if (restored[i]) continue;
+          if (cancel_requested()) {
             mark_unstarted(specs[i], i, outcomes[i]);
             continue;
           }
           execute(specs[i], i, outcomes[i], cfg_.retry_transient);
+          journal.record(outcomes[i]);
         }
       });
     }
   }  // jthread joins here; all slots are written before we return.
+  journal.rethrow();
   return outcomes;
 }
+
+namespace {
+
+/// The kProcess scheduler: forks up to `threads` concurrently live
+/// workers *from the calling thread only* and reaps them through their
+/// result pipes. No pool threads exist in this mode, so fork() never
+/// races a multithreaded parent.
+void run_process_pool(const Campaign::Config& cfg, unsigned threads,
+                      const std::vector<RunSpec>& specs,
+                      std::vector<RunOutcome>& outcomes,
+                      const std::vector<char>& restored, JournalSink& journal,
+                      const std::function<bool()>& cancel_requested) {
+  const unsigned n_workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, specs.size()));
+  std::vector<ChildProc> active;
+  active.reserve(n_workers);
+  std::size_t next = 0;
+
+  // Finishes one child: reap it, classify the ending, fill the slot.
+  // Returns false when the child should be respawned instead (transient
+  // crash salvage).
+  auto finalize = [&](ChildProc& child) -> bool {
+    int status = 0;
+    while (::waitpid(child.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    ::close(child.fd);
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - child.start).count();
+    RunOutcome& out = outcomes[child.index];
+    const RunSpec& spec = specs[child.index];
+
+    RunOutcome received;
+    const bool got_result = WIFEXITED(status) && WEXITSTATUS(status) == 0 &&
+                            parse_result_frame(child.buf, received);
+    if (got_result && !child.killed_cancel) {
+      out = std::move(received);
+      // The child measured its own wall time; surface the spawn count
+      // so a salvaged transient crash is visible in `attempts`.
+      out.attempts += child.spawns - 1;
+      journal.record(out);
+      return true;
+    }
+    out.index = child.index;
+    out.name = spec.name;
+    out.ok = false;
+    out.wall_seconds = wall;
+    out.attempts = child.spawns;
+    if (child.killed_cancel) {
+      out.status = RunStatus::kCancelled;
+      out.error = "spec[" + std::to_string(child.index) + "] " + spec.name +
+                  ": cancelled (campaign abort killed the worker)";
+      return true;  // never journaled (kCancelled), never respawned
+    }
+    if (child.killed_timeout) {
+      out.status = RunStatus::kTimedOut;
+      out.error = "spec[" + std::to_string(child.index) + "] " + spec.name +
+                  ": exceeded the per-run wall budget; worker killed";
+      journal.record(out);
+      return true;
+    }
+    // Hard death: signal, nonzero exit, or a torn result frame.
+    const int sig = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+    if (cfg.retry_transient && child.spawns == 1) return false;
+    out.status = RunStatus::kCrashed;
+    out.term_signal = sig;
+    if (sig != 0) {
+      out.error = "spec[" + std::to_string(child.index) + "] " + spec.name +
+                  ": worker crashed with signal " + std::to_string(sig) +
+                  " (" + signal_name(sig) + ")";
+    } else {
+      out.error = "spec[" + std::to_string(child.index) + "] " + spec.name +
+                  ": worker exited without a result (exit status " +
+                  std::to_string(WIFEXITED(status) ? WEXITSTATUS(status)
+                                                   : -1) +
+                  ")";
+    }
+    journal.record(out);
+    return true;
+  };
+
+  while (next < specs.size() || !active.empty()) {
+    const bool cancelled = cancel_requested();
+
+    // Claim and spawn until the worker slots are full.
+    while (!cancelled && active.size() < n_workers && next < specs.size()) {
+      const std::size_t i = next++;
+      if (restored[i]) continue;
+      active.push_back(spawn_worker(specs[i], i, cfg.run_budget,
+                                    cfg.retry_transient));
+    }
+    if (cancelled) {
+      while (next < specs.size()) {
+        const std::size_t i = next++;
+        if (restored[i]) continue;
+        mark_unstarted(specs[i], i, outcomes[i]);
+      }
+      for (ChildProc& child : active) {
+        if (!child.killed_cancel) {
+          child.killed_cancel = true;
+          ::kill(child.pid, SIGKILL);
+        }
+      }
+    }
+    if (active.empty()) continue;
+
+    // Per-run wall budget: the parent enforces it with SIGKILL, which
+    // is what makes even a hung (non-cooperative) worker a kTimedOut
+    // outcome instead of a stuck campaign.
+    if (cfg.run_budget.max_wall_seconds > 0.0) {
+      for (ChildProc& child : active) {
+        if (child.killed_timeout || child.killed_cancel) continue;
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - child.start).count();
+        if (elapsed > cfg.run_budget.max_wall_seconds) {
+          child.killed_timeout = true;
+          ::kill(child.pid, SIGKILL);
+        }
+      }
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(active.size());
+    for (const ChildProc& child : active) {
+      fds.push_back(pollfd{child.fd, POLLIN, 0});
+    }
+    const int n_ready = ::poll(fds.data(), fds.size(), 20);
+    if (n_ready <= 0) continue;  // timeout / EINTR: re-check budgets
+
+    for (std::size_t k = active.size(); k-- > 0;) {
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::read(active[k].fd, chunk, sizeof chunk);
+      if (n > 0) {
+        active[k].buf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      // EOF: the child is done (or dead). Finalize or respawn.
+      ChildProc child = std::move(active[k]);
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(k));
+      if (!finalize(child)) {
+        ChildProc again = spawn_worker(specs[child.index], child.index,
+                                       cfg.run_budget, cfg.retry_transient);
+        again.spawns = child.spawns + 1;
+        active.push_back(std::move(again));
+      }
+    }
+  }
+}
+
+}  // namespace
 
 }  // namespace ahbp::campaign

@@ -16,6 +16,7 @@
 // campaign's outcomes are bit-identical regardless of thread count or
 // completion order (same seeds => same joules).
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -27,6 +28,8 @@
 #include "sim/kernel.hpp"
 
 namespace ahbp::campaign {
+
+class JournalWriter;  // journal.hpp
 
 /// Per-run power/performance summary gathered from one simulation.
 ///
@@ -71,6 +74,7 @@ enum class RunStatus : std::uint8_t {
   kFailed,     ///< threw (crash/assertion); error carries the context
   kTimedOut,   ///< killed by the per-run budget or deadlock diagnosis
   kCancelled,  ///< cooperative cancel (campaign deadline) or never started
+  kCrashed,    ///< worker process died on a signal (kProcess isolation)
 };
 
 [[nodiscard]] const char* to_string(RunStatus s);
@@ -87,6 +91,12 @@ struct RunOutcome {
   std::string error;
   double wall_seconds = 0.0;  ///< measured even for degraded outcomes
   unsigned attempts = 0;      ///< executions consumed (retry accounting)
+  /// Signal that killed the worker process (kCrashed only, else 0).
+  int term_signal = 0;
+  /// True when this outcome was restored from a write-ahead journal
+  /// instead of executing (see journal.hpp); provenance only, never
+  /// rendered into healthy report output.
+  bool resumed = false;
 };
 
 /// A fixed thread pool that executes RunSpecs and gathers RunOutcomes.
@@ -97,10 +107,26 @@ struct RunOutcome {
 /// the result vector is ordered by spec index independent of completion
 /// order. threads() == 1 executes inline on the calling thread -- the
 /// serial baseline path.
+/// Where a RunSpec executes.
+enum class Isolation : std::uint8_t {
+  /// In-process, on a pool thread (fastest; a hard crash kills the
+  /// whole campaign).
+  kThread,
+  /// In a forked child process per run: the child serializes its
+  /// RunOutcome over a pipe, so a SIGSEGV / abort / OOM-kill becomes a
+  /// kCrashed outcome with the signal recorded instead of sinking the
+  /// sweep. Healthy outcomes round-trip bit-identically (raw IEEE-754
+  /// bits on the wire). Children are forked from the calling thread
+  /// only -- never from pool threads -- so the usual fork-in-
+  /// multithreaded-process hazards are avoided.
+  kProcess,
+};
+
 class Campaign {
 public:
   struct Config {
-    /// Worker count; 0 = one per hardware thread.
+    /// Worker count; 0 = one per hardware thread. In kProcess isolation
+    /// this is the number of concurrently live worker processes.
     unsigned threads = 0;
     /// Per-RunSpec execution budget, imposed on each spec's internally
     /// constructed Kernel via the thread-default mechanism (see
@@ -115,8 +141,16 @@ public:
     /// Re-execute a kFailed (crashed) spec once before recording the
     /// failure -- salvages transient crashes; deterministic failures
     /// fail twice and are recorded with attempts = 2. Timed-out runs
-    /// are never retried (they would exhaust the budget again).
+    /// are never retried (they would exhaust the budget again). In
+    /// kProcess isolation a crashed worker is also respawned once.
     bool retry_transient = false;
+    /// Crash containment mode (see Isolation).
+    Isolation isolation = Isolation::kThread;
+    /// Optional external cancel request (e.g. the CLI's SIGINT flag):
+    /// once it reads true, in-flight runs are cooperatively cancelled
+    /// (kThread) or killed (kProcess) and unclaimed specs are marked
+    /// kCancelled. Must outlive run().
+    const std::atomic<bool>* cancel = nullptr;
   };
 
   Campaign() : Campaign(Config{}) {}
@@ -126,11 +160,26 @@ public:
   [[nodiscard]] unsigned threads() const { return threads_; }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
+  /// Durability hooks for one run() call (see journal.hpp).
+  struct RunOptions {
+    /// When set, every finished outcome (any status except kCancelled)
+    /// is durably appended the moment it completes.
+    JournalWriter* journal = nullptr;
+    /// Previously journaled outcomes: entries whose index and name
+    /// match a spec are restored (marked resumed) without executing.
+    /// kCancelled entries are re-run.
+    const std::vector<RunOutcome>* resume = nullptr;
+  };
+
   /// Runs every spec and returns outcomes ordered by spec index. A spec
   /// that throws, exhausts its budget or is cancelled is captured in
   /// its outcome (ok = false, status says how); the campaign itself
   /// always completes.
   [[nodiscard]] std::vector<RunOutcome> run(const std::vector<RunSpec>& specs) const;
+
+  /// As above, with write-ahead journaling and/or resume.
+  [[nodiscard]] std::vector<RunOutcome> run(const std::vector<RunSpec>& specs,
+                                            const RunOptions& opts) const;
 
   /// The machine's hardware concurrency (>= 1 even when unknown).
   [[nodiscard]] static unsigned hardware_threads();

@@ -1,0 +1,93 @@
+#pragma once
+// Write-ahead journal for campaign runs (schema "ahbpower.journal.v1").
+//
+// Power sweeps are long-running batch jobs; a mid-campaign `kill -9`
+// must not cost the completed runs. The journal makes every finished
+// RunOutcome durable the moment it completes: an append-only file
+// holding a one-line ASCII header followed by binary frames, each
+// `[u32 payload length][u64 FNV-1a checksum][payload]`, written with
+// write(2) + fsync(2) under a mutex so concurrent pool workers append
+// whole frames in completion order.
+//
+// Durability contract:
+//  - append() returns only after the frame is fsynced -- a subsequent
+//    hard kill cannot lose it.
+//  - Doubles are serialized as raw IEEE-754 bits, so a restored outcome
+//    is bit-identical to the original and a resumed campaign report is
+//    byte-identical to an uninterrupted one (docs/ROBUSTNESS.md).
+//  - load_journal() tolerates a torn tail (the frame being written when
+//    the process died) by returning every complete frame before it;
+//    a corrupt *complete* frame (checksum mismatch) is an error.
+//
+// Resume: pass the loaded outcomes to Campaign::run via
+// RunOptions::resume -- journaled runs are restored without executing,
+// and only newly executed runs are appended again.
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace ahbp::campaign {
+
+/// The journal's on-disk schema identifier (also its header line).
+inline constexpr std::string_view kJournalSchema = "ahbpower.journal.v1";
+
+/// @name Outcome wire format (shared by the journal and the process-
+/// isolation result pipe)
+///@{
+/// Serializes one outcome; doubles as raw bits, strings length-prefixed.
+[[nodiscard]] std::string encode_outcome(const RunOutcome& out);
+/// Inverse of encode_outcome. Returns false on a malformed payload.
+[[nodiscard]] bool decode_outcome(std::string_view payload, RunOutcome& out);
+/// Wraps a payload in the journal frame: u32 length, u64 FNV-1a
+/// checksum, payload bytes (all little-endian).
+[[nodiscard]] std::string frame_payload(std::string_view payload);
+/// FNV-1a 64-bit checksum of a byte string.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+///@}
+
+/// Append-only durable writer. Creates the file (and the header) when
+/// absent; appends to an existing journal, so an interrupted campaign's
+/// writer picks up where the previous process stopped. Thread-safe.
+class JournalWriter {
+ public:
+  /// Opens (or creates) the journal. Throws std::runtime_error when the
+  /// file cannot be opened or an existing file has a foreign header.
+  explicit JournalWriter(const std::filesystem::path& file);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Durably appends one finished outcome (frame + fsync). Throws
+  /// std::runtime_error on I/O failure.
+  void append(const RunOutcome& out);
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  std::mutex mutex_;
+  int fd_ = -1;
+};
+
+/// What load_journal recovered.
+struct JournalLoadResult {
+  std::vector<RunOutcome> outcomes;  ///< complete frames, file order
+  bool torn_tail = false;  ///< file ended mid-frame (tolerated)
+  /// Empty when the journal is readable; otherwise why loading stopped
+  /// (missing header, corrupt complete frame, undecodable payload).
+  std::string error;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Reads a journal back. A missing file yields ok() with no outcomes
+/// (a fresh campaign); a torn tail yields the recovered prefix.
+[[nodiscard]] JournalLoadResult load_journal(
+    const std::filesystem::path& file);
+
+}  // namespace ahbp::campaign

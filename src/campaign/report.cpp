@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <ostream>
+#include <sstream>
 
+#include "telemetry/atomic_file.hpp"
 #include "telemetry/exporters.hpp"
 
 namespace ahbp::campaign {
@@ -35,7 +37,7 @@ void write_campaign_json(std::ostream& os,
   }
 
   os << "{\n";
-  os << "  \"schema\": \"ahbpower.campaign.v3\",\n";
+  os << "  \"schema\": \"ahbpower.campaign.v4\",\n";
   os << "  \"name\": \"" << json_escape(meta.name) << "\",\n";
   os << "  \"cycles\": " << meta.cycles << ",\n";
   os << "  \"threads\": " << meta.threads << ",\n";
@@ -82,22 +84,31 @@ void write_campaign_json(std::ostream& os,
   if (failed != 0) {
     // Degraded block: only present when something went wrong, so a
     // fully successful campaign report stays byte-identical across
-    // reruns (wall times below are inherently non-deterministic).
+    // reruns (wall times below are inherently non-deterministic) --
+    // and, by the same token, byte-identical after a journal resume.
+    // That is why the "resumed" provenance count lives here and not at
+    // the top level (docs/ROBUSTNESS.md).
     std::size_t n_failed = 0;
     std::size_t n_timed_out = 0;
     std::size_t n_cancelled = 0;
+    std::size_t n_crashed = 0;
+    std::size_t n_resumed = 0;
     for (const RunOutcome& o : outcomes) {
+      if (o.resumed) ++n_resumed;
       if (o.ok) continue;
       switch (o.status) {
         case RunStatus::kTimedOut: ++n_timed_out; break;
         case RunStatus::kCancelled: ++n_cancelled; break;
+        case RunStatus::kCrashed: ++n_crashed; break;
         default: ++n_failed; break;
       }
     }
     os << "  \"degraded\": {\"count\": " << failed
        << ", \"failed\": " << n_failed
        << ", \"timed_out\": " << n_timed_out
-       << ", \"cancelled\": " << n_cancelled << ", \"runs\": [";
+       << ", \"cancelled\": " << n_cancelled
+       << ", \"crashed\": " << n_crashed
+       << ", \"resumed\": " << n_resumed << ", \"runs\": [";
     bool first = true;
     for (const RunOutcome& o : outcomes) {
       if (o.ok) continue;
@@ -105,7 +116,8 @@ void write_campaign_json(std::ostream& os,
       first = false;
       os << "    {\"index\": " << o.index << ", \"name\": \""
          << json_escape(o.name) << "\", \"status\": \"" << to_string(o.status)
-         << "\", \"wall_seconds\": " << json_number(o.wall_seconds)
+         << "\", \"signal\": " << o.term_signal
+         << ", \"wall_seconds\": " << json_number(o.wall_seconds)
          << ", \"attempts\": " << o.attempts << ", \"error\": \""
          << json_escape(o.error) << "\"}";
     }
@@ -117,6 +129,14 @@ void write_campaign_json(std::ostream& os,
      << ", \"min_energy_j\": " << json_number(min_e)
      << ", \"max_energy_j\": " << json_number(max_e) << "}\n";
   os << "}\n";
+}
+
+void write_campaign_json_file(const std::filesystem::path& path,
+                              const std::vector<RunOutcome>& outcomes,
+                              const CampaignReportMeta& meta) {
+  telemetry::AtomicFile file(path);
+  write_campaign_json(file.stream(), outcomes, meta);
+  file.commit();
 }
 
 }  // namespace ahbp::campaign

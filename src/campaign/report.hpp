@@ -7,12 +7,16 @@
 // timings are excluded from healthy output -- so two executions of a
 // fully successful campaign (any thread count) produce byte-identical
 // files. Structure is specified in docs/OBSERVABILITY.md (schema
-// "ahbpower.campaign.v3"; v3 adds the per-run "status" field and a
+// "ahbpower.campaign.v4"; v3 added the per-run "status" field and a
 // top-level "degraded" block -- emitted only when at least one run did
 // not complete, carrying per-run status / wall time / attempts / error;
-// see docs/ROBUSTNESS.md) and validated in CI by
+// v4 adds the "crashed" status, the killing signal and the "resumed"
+// provenance count inside that block, so all-ok reports -- including
+// journal-resumed ones -- stay byte-identical to v3 modulo the schema
+// string; see docs/ROBUSTNESS.md) and validated in CI by
 // tools/telemetry_validate.
 
+#include <filesystem>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -38,5 +42,12 @@ struct CampaignReportMeta {
 void write_campaign_json(std::ostream& os,
                          const std::vector<RunOutcome>& outcomes,
                          const CampaignReportMeta& meta);
+
+/// As write_campaign_json, but committed to `path` through
+/// telemetry::AtomicFile -- the on-disk report is never observable
+/// half-written. Throws std::runtime_error on I/O failure.
+void write_campaign_json_file(const std::filesystem::path& path,
+                              const std::vector<RunOutcome>& outcomes,
+                              const CampaignReportMeta& meta);
 
 }  // namespace ahbp::campaign

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <ostream>
 
+#include "telemetry/atomic_file.hpp"
+
 namespace ahbp::telemetry {
 
 std::string json_escape(std::string_view s) {
@@ -203,6 +205,37 @@ void write_metrics_json(std::ostream& os, const MetricsRegistry& registry) {
   }
   os << (first ? "}\n" : "\n  }\n");
   os << "}\n";
+}
+
+void write_window_csv_file(const std::filesystem::path& path,
+                           const WindowSeries& series, const ExportMeta& meta) {
+  AtomicFile file(path);
+  write_window_csv(file.stream(), series, meta);
+  file.commit();
+}
+
+void write_window_json_file(const std::filesystem::path& path,
+                            const WindowSeries& series,
+                            const ExportMeta& meta) {
+  AtomicFile file(path);
+  write_window_json(file.stream(), series, meta);
+  file.commit();
+}
+
+void write_chrome_trace_file(const std::filesystem::path& path,
+                             const TraceEventLog& log,
+                             const WindowSeries* series,
+                             const ExportMeta& meta) {
+  AtomicFile file(path);
+  write_chrome_trace(file.stream(), log, series, meta);
+  file.commit();
+}
+
+void write_metrics_json_file(const std::filesystem::path& path,
+                             const MetricsRegistry& registry) {
+  AtomicFile file(path);
+  write_metrics_json(file.stream(), registry);
+  file.commit();
 }
 
 }  // namespace ahbp::telemetry

@@ -12,6 +12,7 @@
 // tools/telemetry_schema.json.
 
 #include <cstdint>
+#include <filesystem>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -108,5 +109,23 @@ void write_chrome_trace(std::ostream& os, const TraceEventLog& log,
 /// Writes a metrics-registry snapshot as JSON (schema
 /// "ahbpower.metrics.v1"), metrics in name order.
 void write_metrics_json(std::ostream& os, const MetricsRegistry& registry);
+
+/// @name Crash-safe file variants
+/// Identical output to the stream writers above, but committed through
+/// AtomicFile (atomic_file.hpp): a crash mid-export can never leave a
+/// truncated artifact on disk. All throw std::runtime_error on I/O
+/// failure.
+///@{
+void write_window_csv_file(const std::filesystem::path& path,
+                           const WindowSeries& series, const ExportMeta& meta);
+void write_window_json_file(const std::filesystem::path& path,
+                            const WindowSeries& series, const ExportMeta& meta);
+void write_chrome_trace_file(const std::filesystem::path& path,
+                             const TraceEventLog& log,
+                             const WindowSeries* series,
+                             const ExportMeta& meta);
+void write_metrics_json_file(const std::filesystem::path& path,
+                             const MetricsRegistry& registry);
+///@}
 
 }  // namespace ahbp::telemetry

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "telemetry/atomic_file.hpp"
+
 namespace ahbp::telemetry {
 
 namespace {
@@ -88,6 +90,21 @@ void append_txn_spans(TraceEventLog& spans, const TxnRecord& r) {
     spans.add_complete("xfer", "txn", r.start_tick, r.end_tick - r.start_tick,
                        tid, {});
   }
+}
+
+void write_txn_csv_file(const std::filesystem::path& path,
+                        const TxnTraceLog& log) {
+  AtomicFile file(path);
+  write_txn_csv(file.stream(), log);
+  file.commit();
+}
+
+void write_txn_json_file(const std::filesystem::path& path,
+                         const TxnTraceLog& log, const TxnSummary& summary,
+                         const ExportMeta& meta) {
+  AtomicFile file(path);
+  write_txn_json(file.stream(), log, summary, meta);
+  file.commit();
 }
 
 }  // namespace ahbp::telemetry

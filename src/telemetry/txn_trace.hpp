@@ -93,4 +93,15 @@ void append_txn_spans(TraceEventLog& spans, const TxnRecord& r);
   return static_cast<int>(master) + 2;
 }
 
+/// @name Crash-safe file variants
+/// Identical output to the stream writers above, committed through
+/// AtomicFile; throw std::runtime_error on I/O failure.
+///@{
+void write_txn_csv_file(const std::filesystem::path& path,
+                        const TxnTraceLog& log);
+void write_txn_json_file(const std::filesystem::path& path,
+                         const TxnTraceLog& log, const TxnSummary& summary,
+                         const ExportMeta& meta);
+///@}
+
 }  // namespace ahbp::telemetry

@@ -43,7 +43,7 @@ TEST(CampaignReport, GoldenStructure) {
   const auto outcomes = pool.run({synthetic_spec("a", 1.5)});
   EXPECT_EQ(render(outcomes, 1),
             "{\n"
-            "  \"schema\": \"ahbpower.campaign.v3\",\n"
+            "  \"schema\": \"ahbpower.campaign.v4\",\n"
             "  \"name\": \"test\",\n"
             "  \"cycles\": 100,\n"
             "  \"threads\": 1,\n"
@@ -104,12 +104,15 @@ TEST(CampaignReport, CapturesFailures) {
   EXPECT_NE(json.find("\"total_energy_j\": 2, \"min_energy_j\": 2, "
                       "\"max_energy_j\": 2"),
             std::string::npos);
-  // v3: failed runs are listed again in the degraded block, with the
+  // v3/v4: failed runs are listed again in the degraded block, with the
   // wall time and attempt count that healthy output must not carry.
+  // v4 extends the counts with crash and resume provenance.
   EXPECT_NE(json.find("\"degraded\": {\"count\": 1, \"failed\": 1, "
-                      "\"timed_out\": 0, \"cancelled\": 0"),
+                      "\"timed_out\": 0, \"cancelled\": 0, \"crashed\": 0, "
+                      "\"resumed\": 0"),
             std::string::npos)
       << json;
+  EXPECT_NE(json.find("\"signal\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"wall_seconds\": "), std::string::npos);
   EXPECT_NE(json.find("\"attempts\": 1"), std::string::npos);
 }

@@ -1,0 +1,107 @@
+// AtomicFile: all-or-nothing publication, no temp-file litter, and
+// error reporting instead of torn artifacts.
+
+#include "telemetry/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace ahbp::telemetry {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ahbp_atomic_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string slurp(const fs::path& p) const {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  /// Number of directory entries besides `expected` -- temp-file litter.
+  [[nodiscard]] std::size_t extra_entries(const fs::path& expected) const {
+    std::size_t n = 0;
+    for (const auto& e : fs::directory_iterator(dir_)) {
+      if (e.path() != expected) ++n;
+    }
+    return n;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesExactBytes) {
+  const fs::path target = dir_ / "out.json";
+  AtomicFile f(target);
+  f.stream() << "{\"a\": 1}\n";
+  f.commit();
+  EXPECT_EQ(slurp(target), "{\"a\": 1}\n");
+  EXPECT_EQ(extra_entries(target), 0u);
+}
+
+TEST_F(AtomicFileTest, UncommittedLeavesDestinationUntouched) {
+  const fs::path target = dir_ / "out.json";
+  {
+    AtomicFile f(target);
+    f.stream() << "never published";
+  }
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_EQ(extra_entries(target), 0u);
+}
+
+TEST_F(AtomicFileTest, CommitReplacesPreviousContentWholly) {
+  const fs::path target = dir_ / "out.json";
+  ASSERT_TRUE(AtomicFile::write(target, "old content, rather long"));
+  AtomicFile f(target);
+  f.stream() << "new";
+  f.commit();
+  EXPECT_EQ(slurp(target), "new");
+}
+
+TEST_F(AtomicFileTest, CreatesMissingParentDirectories) {
+  const fs::path target = dir_ / "a" / "b" / "out.csv";
+  AtomicFile f(target);
+  f.stream() << "x,y\n";
+  f.commit();
+  EXPECT_EQ(slurp(target), "x,y\n");
+}
+
+TEST_F(AtomicFileTest, StaticWriteRoundTrips) {
+  const fs::path target = dir_ / "blob.bin";
+  const std::string payload("\x00\x01\xffraw", 6);
+  std::string error;
+  ASSERT_TRUE(AtomicFile::write(target, payload, &error)) << error;
+  EXPECT_EQ(slurp(target), payload);
+}
+
+TEST_F(AtomicFileTest, FailureReportsErrorAndLeavesNoArtifact) {
+  // The "directory" component is a regular file: commit cannot succeed.
+  const fs::path blocker = dir_ / "blocker";
+  ASSERT_TRUE(AtomicFile::write(blocker, "file, not dir"));
+  const fs::path target = blocker / "out.json";
+  std::string error;
+  EXPECT_FALSE(AtomicFile::write(target, "content", &error));
+  EXPECT_FALSE(error.empty());
+  AtomicFile f(target);
+  f.stream() << "content";
+  EXPECT_THROW(f.commit(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ahbp::telemetry

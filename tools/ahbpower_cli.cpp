@@ -32,24 +32,46 @@
 //     --run-budget S    wall-clock budget per run in seconds; a run
 //                       exceeding it is aborted (status timed_out in
 //                       --sweep, exit code 3 otherwise)
+//     --isolation M     thread | process: where --sweep runs execute.
+//                       process forks one worker per run, so a SIGSEGV
+//                       in one config becomes a "crashed" row instead
+//                       of killing the sweep
+//     --journal DIR     write-ahead journal for --sweep: every finished
+//                       run is durably appended to DIR/campaign.journal
+//                       the moment it completes
+//     --resume          skip runs already present in the --journal
+//                       before executing; the final report is
+//                       byte-identical to an uninterrupted sweep
 //
-// Exit code 0 on success, 2 on bad usage, 3 on an aborted run.
+// Exit codes:
+//   0    success
+//   2    bad usage / unwritable output
+//   3    at least one run degraded (failed / timed out / crashed) or a
+//        single run exceeded --run-budget
+//   130  interrupted by SIGINT (first signal drains + journals
+//        in-flight runs and still emits the degraded report)
+//   143  terminated by SIGTERM (same drain semantics)
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "ahb/ahb.hpp"
 #include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
 #include "campaign/report.hpp"
 #include "fault/injector.hpp"
 #include "power/power.hpp"
 #include "sim/sim.hpp"
+#include "telemetry/atomic_file.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -77,6 +99,10 @@ struct Options {
   std::uint64_t fault_seed = 1;
   double run_budget_s = 0.0;
   unsigned jobs = 0;
+  campaign::Isolation isolation =
+      campaign::Isolation::kThread;
+  bool resume = false;
+  std::string journal_dir;
   std::string csv;
   std::string trace_out;
   std::string telemetry_dir;
@@ -89,7 +115,9 @@ struct Options {
                "          [--telemetry DIR] [--txn-trace]\n"
                "          [--table] [--breakdown] [--attribution] [--activity]\n"
                "          [--csv FILE] [--trace-out FILE] [--quiet]\n"
-               "          [--sweep] [--jobs N] [--faults SEED] [--run-budget S]\n",
+               "          [--sweep] [--jobs N] [--faults SEED] [--run-budget S]\n"
+               "          [--isolation thread|process] [--journal DIR]"
+               " [--resume]\n",
                argv0);
   std::exit(2);
 }
@@ -151,12 +179,33 @@ Options parse(int argc, char** argv) {
     } else if (a == "--run-budget") {
       o.run_budget_s = std::strtod(need_value(i), nullptr);
       if (o.run_budget_s <= 0.0) usage(argv[0]);
+    } else if (a == "--isolation") {
+      const std::string m = need_value(i);
+      if (m == "thread") {
+        o.isolation = campaign::Isolation::kThread;
+      } else if (m == "process") {
+        o.isolation = campaign::Isolation::kProcess;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (a == "--journal") {
+      o.journal_dir = need_value(i);
+    } else if (a == "--resume") {
+      o.resume = true;
     } else {
       usage(argv[0]);
     }
   }
   if (o.masters < 1 || o.masters > 8 || o.slaves < 1 || o.slaves > 8) {
     usage(argv[0]);
+  }
+  if (!o.journal_dir.empty() && !o.sweep) {
+    std::fputs("--journal requires --sweep\n", stderr);
+    std::exit(2);
+  }
+  if (o.resume && o.journal_dir.empty()) {
+    std::fputs("--resume requires --journal DIR\n", stderr);
+    std::exit(2);
   }
   if (!o.csv.empty() && o.window_cycles == 0) {
     std::fputs("--csv requires --window\n", stderr);
@@ -172,16 +221,43 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
-/// Opens `dir/name` for writing, creating the directory on first use.
-std::ofstream open_output(const std::string& dir, const char* name) {
+/// `dir/name`, with the directory created on first use. All artifacts
+/// are then committed through AtomicFile so an interrupt mid-write can
+/// never leave a truncated file behind.
+std::filesystem::path output_path(const std::string& dir, const char* name) {
   std::filesystem::create_directories(dir);
-  const std::filesystem::path path = std::filesystem::path(dir) / name;
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+  return std::filesystem::path(dir) / name;
+}
+
+/// Runs one atomic file emission; I/O failure is a usage-class error.
+template <typename Fn>
+void emit_or_die(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     std::exit(2);
   }
-  return out;
+}
+
+// First SIGINT/SIGTERM requests a graceful stop: the campaign cancel
+// flag (or the kernel's cooperative cancel in single-run mode) drains
+// in-flight runs, journals them and still emits the degraded report.
+// A second signal gives up and force-exits with 128+sig.
+std::atomic<bool> g_interrupted{false};
+std::atomic<int> g_signal{0};
+
+extern "C" void on_signal(int sig) {
+  if (g_interrupted.exchange(true)) _exit(128 + sig);
+  g_signal.store(sig);
+}
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
 }
 
 /// The --faults rate card: uniform seed-driven RETRY / ERROR /
@@ -286,11 +362,50 @@ int run_sweep(const Options& o) {
   }
   campaign::Campaign::Config pool_cfg;
   pool_cfg.threads = o.jobs;
+  pool_cfg.isolation = o.isolation;
+  pool_cfg.cancel = &g_interrupted;
   if (o.run_budget_s > 0.0) {
     pool_cfg.run_budget.max_wall_seconds = o.run_budget_s;
   }
   const campaign::Campaign pool(pool_cfg);
-  const auto outcomes = pool.run(specs);
+
+  // Write-ahead journal: every finished run is durably appended before
+  // the campaign moves on, so a crash or kill mid-sweep loses at most
+  // the runs still in flight. --resume replays the journal instead of
+  // re-executing what already completed.
+  std::unique_ptr<campaign::JournalWriter> journal;
+  campaign::JournalLoadResult restored;
+  if (!o.journal_dir.empty()) {
+    std::filesystem::create_directories(o.journal_dir);
+    const std::filesystem::path jpath =
+        std::filesystem::path(o.journal_dir) / "campaign.journal";
+    if (o.resume) {
+      restored = campaign::load_journal(jpath);
+      if (!restored.ok()) {
+        std::fprintf(stderr, "cannot resume: %s\n", restored.error.c_str());
+        return 2;
+      }
+      if (!restored.outcomes.empty()) {
+        std::printf("resuming: %zu run(s) restored from %s%s\n",
+                    restored.outcomes.size(), jpath.string().c_str(),
+                    restored.torn_tail ? " (torn tail discarded)" : "");
+      }
+    } else {
+      // A fresh sweep must not inherit a previous campaign's entries.
+      std::error_code ec;
+      std::filesystem::remove(jpath, ec);
+    }
+    try {
+      journal = std::make_unique<campaign::JournalWriter>(jpath);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  campaign::Campaign::RunOptions ropts;
+  ropts.journal = journal.get();
+  if (o.resume) ropts.resume = &restored.outcomes;
+  const auto outcomes = pool.run(specs, ropts);
 
   std::printf("ahbpower sweep: %zu configs, %llu cycles each, %u threads\n",
               specs.size(), static_cast<unsigned long long>(o.cycles),
@@ -302,7 +417,7 @@ int run_sweep(const Options& o) {
     if (!out.ok) {
       std::printf("%-10s | %s: %s\n", out.name.c_str(),
                   campaign::to_string(out.status), out.error.c_str());
-      rc = 1;
+      rc = 3;
       continue;
     }
     const campaign::PowerReport& r = out.report;
@@ -314,14 +429,20 @@ int run_sweep(const Options& o) {
                 100.0 * r.metrics.at("arb_share"));
   }
   if (!o.telemetry_dir.empty()) {
-    std::ofstream out = open_output(o.telemetry_dir, "campaign.json");
-    campaign::write_campaign_json(
-        out, outcomes,
-        campaign::CampaignReportMeta{.name = "ahbpower_cli --sweep",
-                                     .cycles = o.cycles,
-                                     .threads = pool.threads()});
+    emit_or_die([&] {
+      campaign::write_campaign_json_file(
+          output_path(o.telemetry_dir, "campaign.json"), outcomes,
+          campaign::CampaignReportMeta{.name = "ahbpower_cli --sweep",
+                                       .cycles = o.cycles,
+                                       .threads = pool.threads()});
+    });
     std::printf("campaign report written to %s/campaign.json\n",
                 o.telemetry_dir.c_str());
+  }
+  if (g_interrupted.load()) {
+    std::fprintf(stderr, "sweep interrupted by signal %d; partial results "
+                 "journaled and reported\n", g_signal.load());
+    return 128 + g_signal.load();
   }
   return rc;
 }
@@ -330,11 +451,13 @@ int run_sweep(const Options& o) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  install_signal_handlers();
   if (o.sweep) return run_sweep(o);
 
   telemetry::MetricsRegistry metrics;
   const bool telemetry_on = !o.telemetry_dir.empty();
   sim::Kernel kernel;
+  kernel.set_cancel_flag(&g_interrupted);
   if (o.run_budget_s > 0.0) {
     kernel.set_budget(sim::RunBudget{.max_wall_seconds = o.run_budget_s});
   }
@@ -391,6 +514,9 @@ int main(int argc, char** argv) {
   } catch (const sim::BudgetExceededError& e) {
     std::fprintf(stderr, "run aborted: %s\n", e.what());
     return 3;
+  } catch (const sim::RunCancelledError&) {
+    std::fprintf(stderr, "run interrupted by signal %d\n", g_signal.load());
+    return 128 + g_signal.load();
   }
   est.flush_telemetry();
 
@@ -419,42 +545,37 @@ int main(int argc, char** argv) {
   if (telemetry_on) {
     const telemetry::ExportMeta meta{.tick_ns = static_cast<double>(kClockNs),
                                      .process_name = "ahbpower"};
-    {
-      std::ofstream out = open_output(o.telemetry_dir, "power_windows.csv");
-      telemetry::write_window_csv(out, *est.windows(), meta);
-    }
-    {
-      std::ofstream out = open_output(o.telemetry_dir, "power_windows.json");
-      telemetry::write_window_json(out, *est.windows(), meta);
-    }
-    {
-      std::ofstream out = open_output(o.telemetry_dir, "trace.json");
-      telemetry::write_chrome_trace(out, *est.trace_events(), est.windows(),
-                                    meta);
-    }
+    emit_or_die([&] {
+      telemetry::write_window_csv_file(
+          output_path(o.telemetry_dir, "power_windows.csv"), *est.windows(),
+          meta);
+      telemetry::write_window_json_file(
+          output_path(o.telemetry_dir, "power_windows.json"), *est.windows(),
+          meta);
+      telemetry::write_chrome_trace_file(
+          output_path(o.telemetry_dir, "trace.json"), *est.trace_events(),
+          est.windows(), meta);
+    });
     if (o.txn_trace) {
       const power::TransactionTracer& txn = *est.txn_tracer();
-      {
-        std::ofstream out = open_output(o.telemetry_dir, "txns.csv");
-        telemetry::write_txn_csv(out, txn.log());
+      // Per-master span tracks named after the module hierarchy.
+      telemetry::ExportMeta txn_meta = meta;
+      txn_meta.threads.emplace_back(telemetry::txn_track_tid(0),
+                                    "default_master");
+      for (unsigned m = 0; m < o.masters; ++m) {
+        txn_meta.threads.emplace_back(telemetry::txn_track_tid(m + 1),
+                                      "m" + std::to_string(m + 1));
       }
-      {
-        std::ofstream out = open_output(o.telemetry_dir, "txns.json");
-        telemetry::write_txn_json(out, txn.log(),
-                                  txn.summary(est.total_energy()), meta);
-      }
-      {
-        // Per-master span tracks named after the module hierarchy.
-        telemetry::ExportMeta txn_meta = meta;
-        txn_meta.threads.emplace_back(telemetry::txn_track_tid(0),
-                                      "default_master");
-        for (unsigned m = 0; m < o.masters; ++m) {
-          txn_meta.threads.emplace_back(telemetry::txn_track_tid(m + 1),
-                                        "m" + std::to_string(m + 1));
-        }
-        std::ofstream out = open_output(o.telemetry_dir, "txn_trace.json");
-        telemetry::write_chrome_trace(out, txn.spans(), nullptr, txn_meta);
-      }
+      emit_or_die([&] {
+        telemetry::write_txn_csv_file(output_path(o.telemetry_dir, "txns.csv"),
+                                      txn.log());
+        telemetry::write_txn_json_file(
+            output_path(o.telemetry_dir, "txns.json"), txn.log(),
+            txn.summary(est.total_energy()), meta);
+        telemetry::write_chrome_trace_file(
+            output_path(o.telemetry_dir, "txn_trace.json"), txn.spans(),
+            nullptr, txn_meta);
+      });
     }
     {
       // Run-level and scheduler-level context beside the power metrics.
@@ -467,8 +588,10 @@ int main(int argc, char** argv) {
           .add(kernel.stats().timed_notifications);
       metrics.counter("sim.time_advances").add(kernel.stats().time_advances);
       metrics.gauge("run.simulated_seconds").set(secs);
-      std::ofstream out = open_output(o.telemetry_dir, "metrics.json");
-      telemetry::write_metrics_json(out, metrics);
+      emit_or_die([&] {
+        telemetry::write_metrics_json_file(
+            output_path(o.telemetry_dir, "metrics.json"), metrics);
+      });
     }
     std::printf(
         "telemetry written to %s (power_windows.csv, power_windows.json, "
@@ -500,13 +623,19 @@ int main(int argc, char** argv) {
     std::fputs(power::format_activity_report(est.fsm().activity()).c_str(), stdout);
   }
   if (!o.csv.empty()) {
-    std::ofstream out(o.csv);
-    power::write_trace_csv(out, *est.trace());
+    emit_or_die([&] {
+      telemetry::AtomicFile file(o.csv);
+      power::write_trace_csv(file.stream(), *est.trace());
+      file.commit();
+    });
     std::printf("\npower trace written to %s\n", o.csv.c_str());
   }
   if (recorder) {
-    std::ofstream out(o.trace_out);
-    recorder->trace().save(out);
+    emit_or_die([&] {
+      telemetry::AtomicFile file(o.trace_out);
+      recorder->trace().save(file.stream());
+      file.commit();
+    });
     std::printf("transaction trace (%zu transfers) written to %s\n",
                 recorder->trace().size(), o.trace_out.c_str());
   }

@@ -17,16 +17,24 @@
 // "ahbpower.txns.v1" the analogous guarantee is enforced twice over:
 // per-transaction energies + bus_energy_j == total_energy_j, and
 // per-master attributed energies + bus_energy_j == total_energy_j. For
-// "ahbpower.campaign.v2"/"v3" every run carrying an attribution block
-// must satisfy attributed master energies + bus_energy_j ==
-// total_energy_j. v3 artifacts additionally get their degraded block
+// "ahbpower.campaign.v2"/"v3"/"v4" every run carrying an attribution
+// block must satisfy attributed master energies + bus_energy_j ==
+// total_energy_j. v3/v4 artifacts additionally get their degraded block
 // cross-checked: per-run "ok"/"status" consistency, the block's counts
-// against the run list, and one degraded entry per non-ok run.
+// against the run list, and one degraded entry per non-ok run (v4 adds
+// the "crashed" status and count).
+//
+// Binary artifacts are also understood: a file opening with the
+// "ahbpower.journal.v1" header line is checked as a campaign
+// write-ahead journal -- every complete [len][fnv1a64][payload] frame
+// must pass its checksum and decode structurally; a torn tail (partial
+// frame from a crash mid-append) is tolerated and reported.
 //
 // Exit 0 when valid, 1 on a contract violation, 2 on bad usage / I/O.
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -386,8 +394,9 @@ void check_campaign_attribution(const Value& doc,
   }
 }
 
-/// Degraded-block consistency for campaign.v3 artifacts.
-void check_campaign_degraded(const Value& doc,
+/// Degraded-block consistency for campaign.v3/v4 artifacts. The
+/// "crashed" status (and its degraded-block count) exists from v4 on.
+void check_campaign_degraded(const Value& doc, bool v4,
                              std::vector<std::string>& errors) {
   const Value* runs = doc.find("runs");
   if (runs == nullptr) return;
@@ -396,13 +405,15 @@ void check_campaign_degraded(const Value& doc,
   std::size_t n_failed = 0;
   std::size_t n_timed_out = 0;
   std::size_t n_cancelled = 0;
+  std::size_t n_crashed = 0;
   for (std::size_t i = 0; i < runs->array.size(); ++i) {
     const Value& run = runs->array[i];
     const Value* ok = run.find("ok");
     const Value* status = run.find("status");
     if (ok == nullptr || status == nullptr) continue;  // schema already flagged
     const std::string& s = status->string;
-    if (s != "ok" && s != "failed" && s != "timed_out" && s != "cancelled") {
+    if (s != "ok" && s != "failed" && s != "timed_out" && s != "cancelled" &&
+        !(v4 && s == "crashed")) {
       errors.push_back("runs[" + std::to_string(i) + "].status: unknown value \"" +
                        s + "\"");
       continue;
@@ -416,6 +427,7 @@ void check_campaign_degraded(const Value& doc,
     if (s == "failed") ++n_failed;
     if (s == "timed_out") ++n_timed_out;
     if (s == "cancelled") ++n_cancelled;
+    if (s == "crashed") ++n_crashed;
   }
 
   const Value* degraded = doc.find("degraded");
@@ -443,6 +455,7 @@ void check_campaign_degraded(const Value& doc,
   check_count("failed", n_failed);
   check_count("timed_out", n_timed_out);
   check_count("cancelled", n_cancelled);
+  if (v4) check_count("crashed", n_crashed);
   if (const Value* druns = degraded->find("runs")) {
     if (druns->array.size() != not_ok) {
       errors.push_back("degraded.runs: " + std::to_string(druns->array.size()) +
@@ -452,12 +465,165 @@ void check_campaign_degraded(const Value& doc,
   }
 }
 
-Value parse_file(const char* path) {
-  std::ifstream in(path);
+std::string read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error(std::string("cannot read ") + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return Parser(buf.str()).parse();
+  return buf.str();
+}
+
+// --- campaign write-ahead journal (binary) validation -----------------------
+//
+// Mirrors the framing in src/campaign/journal.cpp: an ASCII header line
+// followed by [u32 len LE][u64 fnv1a64 LE][payload] frames, each payload
+// one serialized run outcome.
+
+constexpr const char kJournalHeader[] = "ahbpower.journal.v1\n";
+
+std::uint64_t fnv1a64(const std::string& data, std::size_t pos,
+                      std::size_t len) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[pos + i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Bounds-checked little-endian reader over one frame payload.
+class ByteReader {
+ public:
+  ByteReader(const std::string& data, std::size_t pos, std::size_t len)
+      : data_(data), pos_(pos), end_(pos + len) {}
+
+  bool u8(std::uint64_t& v) { return fixed(1, v); }
+  bool u32(std::uint64_t& v) { return fixed(4, v); }
+  bool u64(std::uint64_t& v) { return fixed(8, v); }
+  bool f64() {
+    std::uint64_t bits;
+    return u64(bits);
+  }
+  bool str() {
+    std::uint64_t n = 0;
+    if (!u32(n)) return false;
+    if (end_ - pos_ < n) return false;
+    pos_ += n;
+    return true;
+  }
+  [[nodiscard]] bool done() const { return pos_ == end_; }
+
+ private:
+  bool fixed(std::size_t n, std::uint64_t& v) {
+    if (end_ - pos_ < n) return false;
+    v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::string& data_;
+  std::size_t pos_;
+  std::size_t end_;
+};
+
+/// Structural decode of one journaled outcome (field layout mirrors
+/// campaign::encode_outcome). Returns false when the payload is not a
+/// well-formed outcome record.
+bool journal_outcome_decodes(const std::string& data, std::size_t pos,
+                             std::size_t len, std::string& why) {
+  ByteReader rd(data, pos, len);
+  std::uint64_t status = 0;
+  std::uint64_t scratch = 0;
+  if (!rd.u64(scratch) || !rd.str() || !rd.u8(status) || !rd.u32(scratch) ||
+      !rd.str() || !rd.f64() || !rd.u32(scratch)) {
+    why = "truncated outcome header";
+    return false;
+  }
+  if (status > 4) {  // ok..crashed
+    why = "unknown status byte " + std::to_string(status);
+    return false;
+  }
+  std::uint64_t n = 0;
+  if (!rd.f64() || !rd.f64() || !rd.f64() || !rd.f64() || !rd.f64() ||
+      !rd.u64(scratch) || !rd.u64(scratch) || !rd.u32(n)) {
+    why = "truncated power report";
+    return false;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!rd.str() || !rd.f64()) {
+      why = "truncated metrics map";
+      return false;
+    }
+  }
+  if (!rd.u32(n)) {
+    why = "truncated attribution count";
+    return false;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!rd.f64() || !rd.u64(scratch)) {
+      why = "truncated attribution entry";
+      return false;
+    }
+  }
+  if (!rd.f64()) {
+    why = "missing bus energy";
+    return false;
+  }
+  if (!rd.done()) {
+    why = "trailing bytes after outcome";
+    return false;
+  }
+  return true;
+}
+
+/// Validates a binary campaign journal: header, per-frame checksums and
+/// structural decodability. A torn tail (partial final frame) is the
+/// expected shape of a crash mid-append and passes; a checksum mismatch
+/// on a *complete* frame is corruption and fails.
+int validate_journal(const char* path, const std::string& data) {
+  std::size_t pos = std::strlen(kJournalHeader);
+  std::size_t frames = 0;
+  bool torn = false;
+  while (pos < data.size()) {
+    if (data.size() - pos < 12) {
+      torn = true;
+      break;
+    }
+    std::uint64_t len = 0;
+    std::uint64_t checksum = 0;
+    ByteReader prefix(data, pos, 12);
+    prefix.u32(len);
+    prefix.u64(checksum);
+    if (len > (1u << 28)) {
+      std::fprintf(stderr, "%s: frame at offset %zu has absurd length %llu\n",
+                   path, pos, static_cast<unsigned long long>(len));
+      return 1;
+    }
+    if (data.size() - pos - 12 < len) {
+      torn = true;
+      break;
+    }
+    if (fnv1a64(data, pos + 12, len) != checksum) {
+      std::fprintf(stderr, "%s: checksum mismatch in frame at offset %zu\n",
+                   path, pos);
+      return 1;
+    }
+    std::string why;
+    if (!journal_outcome_decodes(data, pos + 12, len, why)) {
+      std::fprintf(stderr, "%s: undecodable outcome at offset %zu: %s\n", path,
+                   pos, why.c_str());
+      return 1;
+    }
+    ++frames;
+    pos += 12 + len;
+  }
+  std::printf("%s: valid (ahbpower.journal.v1, %zu frame(s)%s)\n", path,
+              frames, torn ? ", torn tail tolerated" : "");
+  return 0;
 }
 
 }  // namespace
@@ -469,8 +635,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    const Value catalogue = parse_file(argv[1]);
-    const Value doc = parse_file(argv[2]);
+    const std::string artifact = read_file(argv[2]);
+    if (artifact.compare(0, std::strlen(kJournalHeader), kJournalHeader) == 0) {
+      return validate_journal(argv[2], artifact);
+    }
+
+    const Value catalogue = Parser(read_file(argv[1])).parse();
+    const Value doc = Parser(artifact).parse();
 
     const Value* id = doc.find("schema");
     if (id == nullptr || id->kind != Value::Kind::kString) {
@@ -493,11 +664,14 @@ int main(int argc, char** argv) {
       check_txns_conservation(doc, errors);
     }
     if (id->string == "ahbpower.campaign.v2" ||
-        id->string == "ahbpower.campaign.v3") {
+        id->string == "ahbpower.campaign.v3" ||
+        id->string == "ahbpower.campaign.v4") {
       check_campaign_attribution(doc, errors);
     }
-    if (id->string == "ahbpower.campaign.v3") {
-      check_campaign_degraded(doc, errors);
+    if (id->string == "ahbpower.campaign.v3" ||
+        id->string == "ahbpower.campaign.v4") {
+      check_campaign_degraded(doc, id->string == "ahbpower.campaign.v4",
+                              errors);
     }
     if (!errors.empty()) {
       for (const std::string& e : errors) {
