@@ -118,15 +118,24 @@ class JournalSink {
 
   void record(const RunOutcome& out) {
     // Cancelled specs never ran; leaving them out of the journal is
-    // what makes --resume re-execute them.
+    // what makes --resume re-execute them. The whole body runs under
+    // the lock: pool threads race record() against the catch path's
+    // writer_ reset otherwise. Appends were already serialized by the
+    // writer's own mutex, so this costs no extra parallelism.
+    const std::lock_guard<std::mutex> lock(mutex_);
     if (writer_ == nullptr || out.status == RunStatus::kCancelled) return;
     try {
       writer_->append(out);
     } catch (const std::exception& e) {
-      const std::lock_guard<std::mutex> lock(mutex_);
       if (error_.empty()) error_ = e.what();
       writer_ = nullptr;  // no point journaling further
     }
+  }
+
+  /// The first deferred journaling failure, or empty.
+  [[nodiscard]] std::string error() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return error_;
   }
 
   /// Rethrows a deferred journaling failure on the caller's thread.
@@ -271,6 +280,16 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs,
   }
 
   JournalSink journal(opts.journal);
+  // A journaling failure never invalidates the outcomes themselves;
+  // callers that pass journal_error get them back with the error on
+  // the side instead of losing the whole sweep to a throw.
+  const auto finish_journal = [&journal, &opts] {
+    if (opts.journal_error != nullptr) {
+      *opts.journal_error = journal.error();
+      return;
+    }
+    journal.rethrow();
+  };
 
   // Shared cooperative cancel flag: set when the campaign wall deadline
   // passes or the external cancel request fires; every in-flight kernel
@@ -298,7 +317,7 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs,
   if (cfg_.isolation == Isolation::kProcess) {
     run_process_pool(cfg_, threads_, specs, outcomes, restored, journal,
                      cancel_requested);
-    journal.rethrow();
+    finish_journal();
     return outcomes;
   }
 
@@ -328,7 +347,7 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs,
       execute(specs[i], i, outcomes[i], cfg_.retry_transient);
       journal.record(outcomes[i]);
     }
-    journal.rethrow();
+    finish_journal();
     return outcomes;
   }
 
@@ -358,7 +377,7 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs,
       });
     }
   }  // jthread joins here; all slots are written before we return.
-  journal.rethrow();
+  finish_journal();
   return outcomes;
 }
 

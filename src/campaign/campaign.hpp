@@ -169,6 +169,12 @@ public:
     /// match a spec are restored (marked resumed) without executing.
     /// kCancelled entries are re-run.
     const std::vector<RunOutcome>* resume = nullptr;
+    /// When set, a journal append failure (disk full, I/O error) is
+    /// reported here instead of thrown, so the completed outcomes are
+    /// still returned -- the run results are valid, only their
+    /// durability is lost. Left empty on success. When null, run()
+    /// throws std::runtime_error after all runs complete.
+    std::string* journal_error = nullptr;
   };
 
   /// Runs every spec and returns outcomes ordered by spec index. A spec

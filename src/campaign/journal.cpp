@@ -118,6 +118,53 @@ bool write_all_fd(int fd, std::string_view data) {
   return true;
 }
 
+/// fsyncs the directory containing `path` so a freshly created journal
+/// survives power loss (mirrors telemetry::AtomicFile). Best effort:
+/// some filesystems reject O_RDONLY directory fsync.
+void sync_parent_dir(const std::filesystem::path& path) {
+  const std::filesystem::path dir =
+      path.has_parent_path() ? path.parent_path() : ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// The "config=<16 hex digits>\n" header line for a fingerprint.
+std::string config_line(std::uint64_t fingerprint) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string line(kJournalConfigPrefix);
+  for (int i = 15; i >= 0; --i) line.push_back(kHex[(fingerprint >> (4 * i)) & 0xf]);
+  line.push_back('\n');
+  return line;
+}
+
+/// Parses the two ASCII header lines. Returns false on a foreign or
+/// truncated header; on success `fingerprint` holds the config value.
+bool parse_header(std::string_view data, std::uint64_t& fingerprint) {
+  if (data.size() < kJournalHeaderBytes) return false;
+  if (data.substr(0, kJournalSchema.size()) != kJournalSchema ||
+      data[kJournalSchema.size()] != '\n') {
+    return false;
+  }
+  std::string_view cfg = data.substr(kJournalSchema.size() + 1,
+                                     kJournalConfigPrefix.size() + 17);
+  if (cfg.substr(0, kJournalConfigPrefix.size()) != kJournalConfigPrefix ||
+      cfg.back() != '\n') {
+    return false;
+  }
+  cfg = cfg.substr(kJournalConfigPrefix.size(), 16);
+  fingerprint = 0;
+  for (const char c : cfg) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return false;
+    fingerprint = (fingerprint << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return true;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a64(std::string_view bytes) {
@@ -219,7 +266,8 @@ std::string frame_payload(std::string_view payload) {
 
 // --- writer ----------------------------------------------------------------
 
-JournalWriter::JournalWriter(const std::filesystem::path& file)
+JournalWriter::JournalWriter(const std::filesystem::path& file,
+                             std::uint64_t config_fingerprint)
     : path_(file) {
   if (file.has_parent_path()) {
     std::error_code ec;
@@ -231,28 +279,47 @@ JournalWriter::JournalWriter(const std::filesystem::path& file)
   }
   const off_t size = ::lseek(fd_, 0, SEEK_END);
   if (size == 0) {
-    // Fresh journal: durable header before any frame.
+    // Fresh journal: durable header (schema + config fingerprint)
+    // before any frame, then the directory entry itself -- without the
+    // parent fsync, power loss could drop the whole file even though
+    // every append() "durably" returned.
     std::string header(kJournalSchema);
     header.push_back('\n');
+    header += config_line(config_fingerprint);
     if (!write_all_fd(fd_, header) || ::fsync(fd_) != 0) {
       ::close(fd_);
       fd_ = -1;
       throw std::runtime_error("journal: " + errno_text("write", file));
     }
+    sync_parent_dir(file);
     return;
   }
-  // Appending to an existing file: refuse a foreign format outright so
-  // --journal pointed at the wrong file cannot silently corrupt it.
-  std::ifstream in(file, std::ios::binary);
-  std::string header(kJournalSchema.size() + 1, '\0');
-  in.read(header.data(), static_cast<std::streamsize>(header.size()));
-  if (!in || header.substr(0, kJournalSchema.size()) != kJournalSchema ||
-      header.back() != '\n') {
+  // Appending to an existing file. Refuse a foreign format outright so
+  // --journal pointed at the wrong file cannot silently corrupt it,
+  // refuse a journal written by a differently configured campaign, and
+  // truncate a torn tail: O_APPEND would otherwise place new frames
+  // after the partial one, making every later frame unreadable.
+  const JournalLoadResult existing = load_journal(file);
+  if (!existing.ok()) {
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("journal: " + file.string() +
-                             " exists but is not an " +
-                             std::string(kJournalSchema) + " journal");
+    throw std::runtime_error(existing.error);
+  }
+  if (config_fingerprint != 0 &&
+      existing.config_fingerprint != config_fingerprint) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(
+        "journal: " + file.string() +
+        " was written by a campaign with a different configuration");
+  }
+  if (static_cast<std::size_t>(size) > existing.valid_bytes) {
+    if (::ftruncate(fd_, static_cast<off_t>(existing.valid_bytes)) != 0 ||
+        ::fsync(fd_) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("journal: " + errno_text("truncate", file));
+    }
   }
 }
 
@@ -284,18 +351,15 @@ JournalLoadResult load_journal(const std::filesystem::path& file) {
   buf << in.rdbuf();
   const std::string data = buf.str();
 
-  const std::size_t header_len = kJournalSchema.size() + 1;
-  if (data.size() < header_len ||
-      std::string_view(data).substr(0, kJournalSchema.size()) !=
-          kJournalSchema ||
-      data[kJournalSchema.size()] != '\n') {
+  if (!parse_header(data, result.config_fingerprint)) {
     result.error =
         "journal: " + file.string() + " has no " +
-        std::string(kJournalSchema) + " header";
+        std::string(kJournalSchema) + " header with a config line";
     return result;
   }
 
-  std::size_t pos = header_len;
+  std::size_t pos = kJournalHeaderBytes;
+  result.valid_bytes = pos;
   while (pos < data.size()) {
     // Frame prefix: u32 length + u64 checksum. A short prefix is a torn
     // tail (the process died mid-append) and is tolerated.
@@ -335,6 +399,7 @@ JournalLoadResult load_journal(const std::filesystem::path& file) {
     out.resumed = true;
     result.outcomes.push_back(std::move(out));
     pos += 12 + len;
+    result.valid_bytes = pos;
   }
   return result;
 }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -144,13 +145,14 @@ TEST_F(JournalTest, WriterCreatesHeaderAndLoaderRoundTrips) {
     writer.append(failed_outcome());
   }
   const std::string bytes = slurp();
-  ASSERT_GE(bytes.size(), kJournalSchema.size() + 1);
-  EXPECT_EQ(bytes.substr(0, kJournalSchema.size() + 1),
-            std::string(kJournalSchema) + "\n");
+  ASSERT_GE(bytes.size(), kJournalHeaderBytes);
+  EXPECT_EQ(bytes.substr(0, kJournalHeaderBytes),
+            std::string(kJournalSchema) + "\nconfig=0000000000000000\n");
 
   const JournalLoadResult loaded = load_journal(file_);
   ASSERT_TRUE(loaded.ok()) << loaded.error;
   EXPECT_FALSE(loaded.torn_tail);
+  EXPECT_EQ(loaded.valid_bytes, bytes.size());
   ASSERT_EQ(loaded.outcomes.size(), 2u);
   expect_outcomes_equal(sample_outcome(0), loaded.outcomes[0]);
   expect_outcomes_equal(failed_outcome(), loaded.outcomes[1]);
@@ -191,14 +193,67 @@ TEST_F(JournalTest, TornTailIsTolerated) {
   const std::string bytes = slurp();
   // Cut the file mid-way through the second frame: the crash shape.
   const std::string header_and_one =
-      bytes.substr(0, kJournalSchema.size() + 1 + 12 +
+      bytes.substr(0, kJournalHeaderBytes + 12 +
                           encode_outcome(sample_outcome(0)).size());
   dump(header_and_one + bytes.substr(header_and_one.size(), 7));
   const JournalLoadResult loaded = load_journal(file_);
   ASSERT_TRUE(loaded.ok()) << loaded.error;
   EXPECT_TRUE(loaded.torn_tail);
+  EXPECT_EQ(loaded.valid_bytes, header_and_one.size());
   ASSERT_EQ(loaded.outcomes.size(), 1u);
   expect_outcomes_equal(sample_outcome(0), loaded.outcomes[0]);
+}
+
+TEST_F(JournalTest, ReopenTruncatesTornTailBeforeAppending) {
+  {
+    JournalWriter writer(file_);
+    writer.append(sample_outcome(0));
+    writer.append(sample_outcome(1));
+  }
+  const std::string bytes = slurp();
+  const std::size_t one_frame_size =
+      kJournalHeaderBytes + 12 + encode_outcome(sample_outcome(0)).size();
+  // Leave a 7-byte partial second frame: the kill-mid-append shape.
+  dump(bytes.substr(0, one_frame_size + 7));
+
+  // The post-crash reopen must truncate the tail; appending after it
+  // would otherwise let the torn frame's length field span the new
+  // bytes and poison every frame journaled from here on.
+  {
+    JournalWriter writer(file_);
+    writer.append(sample_outcome(2));
+    writer.append(failed_outcome());
+  }
+  const JournalLoadResult loaded = load_journal(file_);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_FALSE(loaded.torn_tail);
+  ASSERT_EQ(loaded.outcomes.size(), 3u);
+  expect_outcomes_equal(sample_outcome(0), loaded.outcomes[0]);
+  expect_outcomes_equal(sample_outcome(2), loaded.outcomes[1]);
+  expect_outcomes_equal(failed_outcome(), loaded.outcomes[2]);
+}
+
+TEST_F(JournalTest, ConfigFingerprintRoundTripsAndGuardsReopen) {
+  {
+    JournalWriter writer(file_, 0xdeadbeefcafe1234ull);
+    writer.append(sample_outcome(0));
+  }
+  const JournalLoadResult loaded = load_journal(file_);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.config_fingerprint, 0xdeadbeefcafe1234ull);
+
+  // Same fingerprint reopens fine; a different campaign is refused.
+  EXPECT_NO_THROW(JournalWriter(file_, 0xdeadbeefcafe1234ull));
+  EXPECT_THROW(JournalWriter(file_, 0x1111111111111111ull),
+               std::runtime_error);
+  // 0 = caller opted out of the check (e.g. ad-hoc tooling).
+  EXPECT_NO_THROW(JournalWriter(file_, 0));
+}
+
+TEST_F(JournalTest, SchemaLineWithoutConfigLineIsRejected) {
+  dump(std::string(kJournalSchema) + "\n");
+  EXPECT_FALSE(load_journal(file_).ok());
+  EXPECT_THROW(JournalWriter{file_}, std::runtime_error);
 }
 
 TEST_F(JournalTest, CorruptCompleteFrameIsRejected) {
@@ -212,6 +267,8 @@ TEST_F(JournalTest, CorruptCompleteFrameIsRejected) {
   const JournalLoadResult loaded = load_journal(file_);
   EXPECT_FALSE(loaded.ok());
   EXPECT_NE(loaded.error.find("checksum"), std::string::npos) << loaded.error;
+  // A writer must refuse to append after corruption, not bury it.
+  EXPECT_THROW(JournalWriter{file_}, std::runtime_error);
 }
 
 TEST_F(JournalTest, HeaderlessFileIsRejected) {
@@ -272,6 +329,54 @@ TEST_F(JournalTest, ResumeSkipsJournaledRunsAndRunsTheRest) {
   ASSERT_TRUE(after.ok()) << after.error;
   ASSERT_EQ(after.outcomes.size(), 2u);
   EXPECT_EQ(after.outcomes[1].name, "b");
+}
+
+/// Scoped RLIMIT_FSIZE clamp: writes past the limit fail with EFBIG
+/// (SIGXFSZ ignored for the duration) -- a portable stand-in for a
+/// full disk.
+class FileSizeLimit {
+ public:
+  explicit FileSizeLimit(rlim_t bytes) {
+    ::getrlimit(RLIMIT_FSIZE, &old_);
+    old_handler_ = ::signal(SIGXFSZ, SIG_IGN);
+    const rlimit lim{bytes, old_.rlim_max};
+    ::setrlimit(RLIMIT_FSIZE, &lim);
+  }
+  ~FileSizeLimit() {
+    ::setrlimit(RLIMIT_FSIZE, &old_);
+    ::signal(SIGXFSZ, old_handler_);
+  }
+
+ private:
+  rlimit old_{};
+  void (*old_handler_)(int) = nullptr;
+};
+
+TEST_F(JournalTest, AppendFailureIsDeferredNotFatalWhenRequested) {
+  JournalWriter writer(file_);
+  const std::size_t journal_size = slurp().size();
+
+  int runs = 0;
+  std::vector<RunSpec> specs;
+  specs.push_back(counting_spec("a", 1.0, &runs));
+  const Campaign pool(Campaign::Config{.threads = 1});
+  Campaign::RunOptions opts;
+  opts.journal = &writer;
+
+  const FileSizeLimit no_space(journal_size);  // next append hits "disk full"
+
+  // With journal_error set, the outcomes survive the journal failure.
+  std::string journal_error;
+  opts.journal_error = &journal_error;
+  const auto outcomes = pool.run(specs, opts);
+  EXPECT_EQ(runs, 1);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  EXPECT_NE(journal_error.find("append"), std::string::npos) << journal_error;
+
+  // Without it, the legacy contract: run() completes, then throws.
+  opts.journal_error = nullptr;
+  EXPECT_THROW((void)pool.run(specs, opts), std::runtime_error);
 }
 
 TEST_F(JournalTest, ResumeEntryMustMatchIndexAndName) {

@@ -45,9 +45,11 @@
 //
 // Exit codes:
 //   0    success
-//   2    bad usage / unwritable output
-//   3    at least one run degraded (failed / timed out / crashed) or a
-//        single run exceeded --run-budget
+//   2    bad usage / unwritable output / --resume against a corrupt
+//        journal or one written with different campaign parameters
+//   3    at least one run degraded (failed / timed out / crashed), a
+//        single run exceeded --run-budget, or the write-ahead journal
+//        could not be written (the report is still emitted)
 //   130  interrupted by SIGINT (first signal drains + journals
 //        in-flight runs and still emits the degraded report)
 //   143  terminated by SIGTERM (same drain semantics)
@@ -352,6 +354,28 @@ campaign::RunSpec sweep_spec(const Options& o, ahb::ArbitrationPolicy policy,
           }};
 }
 
+/// Fingerprint of everything that determines a sweep's results. A
+/// journal records it so --resume refuses to mix outcomes produced by
+/// a differently parameterized campaign into the new report. Thread
+/// count and isolation mode are deliberately excluded: results are
+/// documented to be bit-identical across both.
+std::uint64_t sweep_fingerprint(const Options& o,
+                                const std::vector<campaign::RunSpec>& specs) {
+  std::string canon = "cycles=" + std::to_string(o.cycles) +
+                      ";masters=" + std::to_string(o.masters) +
+                      ";slaves=" + std::to_string(o.slaves) +
+                      ";seed=" + std::to_string(o.seed) + ";faults=" +
+                      (o.faults ? std::to_string(o.fault_seed)
+                                : std::string("off")) +
+                      ";run_budget=" + std::to_string(o.run_budget_s) +
+                      ";specs=";
+  for (const campaign::RunSpec& s : specs) {
+    canon += s.name;
+    canon += ',';
+  }
+  return campaign::fnv1a64(canon);
+}
+
 int run_sweep(const Options& o) {
   std::vector<campaign::RunSpec> specs;
   for (const auto policy : {ahb::ArbitrationPolicy::kFixedPriority,
@@ -375,6 +399,7 @@ int run_sweep(const Options& o) {
   // re-executing what already completed.
   std::unique_ptr<campaign::JournalWriter> journal;
   campaign::JournalLoadResult restored;
+  const std::uint64_t fingerprint = sweep_fingerprint(o, specs);
   if (!o.journal_dir.empty()) {
     std::filesystem::create_directories(o.journal_dir);
     const std::filesystem::path jpath =
@@ -383,6 +408,15 @@ int run_sweep(const Options& o) {
       restored = campaign::load_journal(jpath);
       if (!restored.ok()) {
         std::fprintf(stderr, "cannot resume: %s\n", restored.error.c_str());
+        return 2;
+      }
+      if (std::filesystem::exists(jpath) &&
+          restored.config_fingerprint != fingerprint) {
+        std::fprintf(stderr,
+                     "cannot resume: %s was journaled with different campaign "
+                     "parameters (cycles/topology/seed/faults/run-budget); "
+                     "rerun without --resume to start over\n",
+                     jpath.string().c_str());
         return 2;
       }
       if (!restored.outcomes.empty()) {
@@ -396,7 +430,9 @@ int run_sweep(const Options& o) {
       std::filesystem::remove(jpath, ec);
     }
     try {
-      journal = std::make_unique<campaign::JournalWriter>(jpath);
+      // Also truncates any torn tail the interrupted campaign left, so
+      // new appends never land after a partial frame.
+      journal = std::make_unique<campaign::JournalWriter>(jpath, fingerprint);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
@@ -405,7 +441,19 @@ int run_sweep(const Options& o) {
   campaign::Campaign::RunOptions ropts;
   ropts.journal = journal.get();
   if (o.resume) ropts.resume = &restored.outcomes;
-  const auto outcomes = pool.run(specs, ropts);
+  // Deferred journal-append failures (disk full, EIO) surface here
+  // instead of as an exception: the completed runs are still reported.
+  std::string journal_error;
+  ropts.journal_error = &journal_error;
+  std::vector<campaign::RunOutcome> outcomes;
+  try {
+    outcomes = pool.run(specs, ropts);
+  } catch (const std::exception& e) {
+    // Campaign infrastructure failure (fork/pipe exhaustion): nothing
+    // to report, but exit deliberately rather than via std::terminate.
+    std::fprintf(stderr, "sweep failed: %s\n", e.what());
+    return 2;
+  }
 
   std::printf("ahbpower sweep: %zu configs, %llu cycles each, %u threads\n",
               specs.size(), static_cast<unsigned long long>(o.cycles),
@@ -427,6 +475,13 @@ int run_sweep(const Options& o) {
                 power::format_energy(r.total_energy).c_str(),
                 100.0 * r.metrics.at("data_share"),
                 100.0 * r.metrics.at("arb_share"));
+  }
+  if (!journal_error.empty()) {
+    std::fprintf(stderr,
+                 "warning: write-ahead journaling failed (%s); results above "
+                 "are complete but the journal is not resumable\n",
+                 journal_error.c_str());
+    rc = 3;
   }
   if (!o.telemetry_dir.empty()) {
     emit_or_die([&] {

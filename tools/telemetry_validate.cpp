@@ -475,11 +475,13 @@ std::string read_file(const char* path) {
 
 // --- campaign write-ahead journal (binary) validation -----------------------
 //
-// Mirrors the framing in src/campaign/journal.cpp: an ASCII header line
-// followed by [u32 len LE][u64 fnv1a64 LE][payload] frames, each payload
-// one serialized run outcome.
+// Mirrors the framing in src/campaign/journal.cpp: an ASCII schema line,
+// a "config=<16 hex digits>" campaign-fingerprint line, then
+// [u32 len LE][u64 fnv1a64 LE][payload] frames, each payload one
+// serialized run outcome.
 
 constexpr const char kJournalHeader[] = "ahbpower.journal.v1\n";
+constexpr const char kJournalConfigPrefix[] = "config=";
 
 std::uint64_t fnv1a64(const std::string& data, std::size_t pos,
                       std::size_t len) {
@@ -586,6 +588,29 @@ bool journal_outcome_decodes(const std::string& data, std::size_t pos,
 /// on a *complete* frame is corruption and fails.
 int validate_journal(const char* path, const std::string& data) {
   std::size_t pos = std::strlen(kJournalHeader);
+  // The mandatory config line: "config=" + 16 lowercase hex + "\n".
+  const std::size_t cfg_prefix = std::strlen(kJournalConfigPrefix);
+  std::uint64_t fingerprint = 0;
+  bool cfg_ok = data.size() >= pos + cfg_prefix + 17 &&
+                data.compare(pos, cfg_prefix, kJournalConfigPrefix) == 0 &&
+                data[pos + cfg_prefix + 16] == '\n';
+  for (std::size_t i = 0; cfg_ok && i < 16; ++i) {
+    const char c = data[pos + cfg_prefix + i];
+    if (c >= '0' && c <= '9') {
+      fingerprint = (fingerprint << 4) | static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      fingerprint = (fingerprint << 4) |
+                    static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      cfg_ok = false;
+    }
+  }
+  if (!cfg_ok) {
+    std::fprintf(stderr, "%s: missing or malformed config fingerprint line\n",
+                 path);
+    return 1;
+  }
+  pos += cfg_prefix + 17;
   std::size_t frames = 0;
   bool torn = false;
   while (pos < data.size()) {
@@ -621,8 +646,10 @@ int validate_journal(const char* path, const std::string& data) {
     ++frames;
     pos += 12 + len;
   }
-  std::printf("%s: valid (ahbpower.journal.v1, %zu frame(s)%s)\n", path,
-              frames, torn ? ", torn tail tolerated" : "");
+  std::printf("%s: valid (ahbpower.journal.v1, config %016llx, "
+              "%zu frame(s)%s)\n",
+              path, static_cast<unsigned long long>(fingerprint), frames,
+              torn ? ", torn tail tolerated" : "");
   return 0;
 }
 
