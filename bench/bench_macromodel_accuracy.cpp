@@ -2,13 +2,28 @@
 // macromodel is checked against its gate-level reference structure (the
 // role SIS played for the authors). Prints, per block, the least-squares
 // fit quality and the closed-form model's error versus the gate level.
+//
+// --smoke shrinks the sample count so the bench-smoke ctest label can run
+// the full table cheaply; columns and shapes are unchanged.
 
 #include <cstdio>
+#include <cstring>
 
 #include "charlib/charlib.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ahbp;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  const unsigned n_samples = smoke ? 200 : 2000;
 
   std::puts("=== Macromodel validation against gate level (SIS substitute) ===\n");
 
@@ -17,7 +32,7 @@ int main() {
   std::printf("%8s %10s %12s %14s %14s\n", "n_O", "fit R^2", "rel. error",
               "E_model", "E_gate");
   for (unsigned n : {2u, 4u, 8u, 16u}) {
-    const auto r = charlib::characterize_decoder(n, 2000, 1234);
+    const auto r = charlib::characterize_decoder(n, n_samples, 1234);
     std::printf("%8u %10.4f %11.1f%% %13.3e %13.3e\n", n, r.fit.r_squared,
                 100.0 * r.paper_model.mean_rel_error,
                 r.paper_model.total_energy_model, r.paper_model.total_energy_ref);
@@ -31,7 +46,7 @@ int main() {
     unsigned w, n;
   };
   for (const auto [w, n] : {Shape{8, 2}, Shape{16, 3}, Shape{32, 2}, Shape{32, 4}}) {
-    const auto r = charlib::characterize_mux(w, n, 2000, 99);
+    const auto r = charlib::characterize_mux(w, n, n_samples, 99);
     std::printf("%6u %6u %10.4f %13.1f%% %13.1f%%\n", w, n, r.fit.r_squared,
                 100.0 * r.default_model.mean_rel_error,
                 100.0 * r.fitted_model.mean_rel_error);
@@ -42,7 +57,7 @@ int main() {
   std::printf("%8s %10s %12s %14s %14s\n", "masters", "fit R^2", "rel. error",
               "E_model", "E_gate");
   for (unsigned n : {2u, 3u, 4u, 8u}) {
-    const auto r = charlib::characterize_arbiter(n, 2000, 555);
+    const auto r = charlib::characterize_arbiter(n, n_samples, 555);
     std::printf("%8u %10.4f %11.1f%% %13.3e %13.3e\n", n, r.fit.r_squared,
                 100.0 * r.fsm_model.mean_rel_error,
                 r.fsm_model.total_energy_model, r.fsm_model.total_energy_ref);

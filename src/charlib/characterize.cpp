@@ -1,7 +1,9 @@
 #include "charlib/characterize.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "gate/bitsim.hpp"
 #include "gate/gatesim.hpp"
 #include "gate/synth.hpp"
 #include "power/activity.hpp"
@@ -13,6 +15,8 @@ using power::hamming;
 using sim::SimError;
 
 namespace {
+
+constexpr unsigned kLanes = gate::BitSim::kLanes;
 
 /// Folds |model - ref| statistics over paired energy series.
 ModelAccuracy accuracy(const std::vector<double>& model,
@@ -38,6 +42,31 @@ void drive_word(gate::GateSim& simu, const std::vector<gate::NetId>& pins,
   }
 }
 
+/// Drives one word per lane onto a pin bundle: lane_words[j] bit b goes
+/// to pin b's lane j. Lanes beyond `lanes` are driven 0. The buffer is
+/// consumed (transposed from lane-major to pin-major in place). All
+/// characterization bundles fit in 64 pins.
+void drive_lane_words(gate::BitSim& simu, const std::vector<gate::NetId>& pins,
+                      std::uint64_t lane_words[kLanes], unsigned lanes) {
+  std::fill(lane_words + lanes, lane_words + kLanes, 0);
+  gate::bit_transpose_64x64(lane_words);
+  for (std::size_t b = 0; b < pins.size(); ++b) {
+    simu.set_input(pins[b], lane_words[b]);
+  }
+}
+
+/// Reads a pin bundle for every lane at once: out[j] is lane j's bundle
+/// word (bit b = pin b).
+void read_lane_words(const gate::BitSim& simu,
+                     const std::vector<gate::NetId>& pins,
+                     std::uint64_t out[kLanes]) {
+  for (std::size_t b = 0; b < pins.size(); ++b) {
+    out[b] = simu.value_word(pins[b]);
+  }
+  std::fill(out + pins.size(), out + kLanes, 0);
+  gate::bit_transpose_64x64(out);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -45,47 +74,81 @@ void drive_word(gate::GateSim& simu, const std::vector<gate::NetId>& pins,
 
 DecoderCharacterization characterize_decoder(unsigned n_outputs, unsigned n_samples,
                                              std::uint64_t seed,
-                                             gate::Technology tech) {
+                                             gate::Technology tech, Engine engine) {
   if (n_samples < 8) throw SimError("characterize_decoder: too few samples");
   DecoderCharacterization out;
   out.n_outputs = n_outputs;
 
   gate::DecoderNetlist dec = gate::build_onehot_decoder(n_outputs);
-  gate::GateSim simu(dec.nl, tech);
   power::DecoderModel paper(n_outputs, tech);
 
   const unsigned bits = static_cast<unsigned>(dec.addr.size());
   StimulusGen uniform(StimulusGen::Profile::kUniform, bits, seed);
   StimulusGen low(StimulusGen::Profile::kLowActivity, bits, seed + 1);
 
-  std::uint64_t prev = 0;
-  drive_word(simu, dec.addr, prev);
-  simu.eval();
-  simu.reset_accounting();
-
-  std::vector<double> model_e, ref_e;
+  // The full stimulus sequence up front, consuming the generators in the
+  // exact order of the per-sample loop (mixed activity regimes so the
+  // fit sees the whole HD range). Sample i measures the w[i-1] -> w[i]
+  // transition (w[-1] = 0).
+  std::vector<std::uint64_t> words(n_samples);
   for (unsigned i = 0; i < n_samples; ++i) {
-    // Mix activity regimes so the fit sees the whole HD range.
-    const std::uint64_t cur = (i % 2 == 0) ? uniform.next() : low.next();
-    drive_word(simu, dec.addr, cur);
-    simu.reset_accounting();
-    simu.eval();
-    const double e = simu.energy();
-    const unsigned hd = hamming(prev, cur);
-    out.samples.push_back(Sample{{static_cast<double>(hd)}, e});
-    model_e.push_back(paper.energy(hd));
-    ref_e.push_back(e);
-    prev = cur;
+    words[i] = (i % 2 == 0) ? uniform.next() : low.next();
   }
 
-  std::vector<std::vector<double>> x;
-  std::vector<double> y;
-  for (const Sample& s : out.samples) {
-    x.push_back(s.features);
-    y.push_back(s.energy);
+  std::vector<double> ref(n_samples, 0.0);
+  if (engine == Engine::kScalar) {
+    gate::GateSim simu(dec.nl, tech);
+    drive_word(simu, dec.addr, 0);
+    simu.eval();
+    for (unsigned i = 0; i < n_samples; ++i) {
+      drive_word(simu, dec.addr, words[i]);
+      simu.reset_accounting();
+      simu.eval();
+      ref[i] = simu.energy();
+    }
+  } else {
+    // 64 independent transitions per pass: lane j of the batch holds
+    // trial base+j. The decoder is combinational, so establishing the
+    // "previous" settled state is one unaccounted evaluation -- and
+    // because consecutive trials are adjacent lanes, its pin words are
+    // just the measured wave's words shifted up one lane, with the
+    // previous batch's last word carried into lane 0 (all-zero before
+    // trial 0). One transpose per batch instead of two.
+    gate::BitSim simu(dec.nl, tech, gate::BitSim::Accounting::kPerLane);
+    std::uint64_t cur_w[kLanes];
+    std::uint64_t carry = 0;
+    for (unsigned base = 0; base < n_samples; base += kLanes) {
+      const unsigned lanes = std::min(kLanes, n_samples - base);
+      for (unsigned j = 0; j < lanes; ++j) cur_w[j] = words[base + j];
+      std::fill(cur_w + lanes, cur_w + kLanes, 0);
+      gate::bit_transpose_64x64(cur_w);
+      for (unsigned b = 0; b < bits; ++b) {
+        simu.set_input(dec.addr[b], cur_w[b] << 1 | (carry >> b & 1u));
+      }
+      simu.eval_unaccounted();
+      for (unsigned b = 0; b < bits; ++b) simu.set_input(dec.addr[b], cur_w[b]);
+      simu.reset_accounting();
+      simu.eval();
+      for (unsigned j = 0; j < lanes; ++j) ref[base + j] = simu.lane_energy(j);
+      carry = words[base + lanes - 1];
+    }
   }
-  out.fit = fit_linear(x, y);
-  out.paper_model = accuracy(model_e, ref_e);
+
+  std::vector<double> model_e, fx;
+  out.samples.reserve(n_samples);
+  model_e.reserve(n_samples);
+  fx.reserve(n_samples);
+  std::uint64_t prev = 0;
+  for (unsigned i = 0; i < n_samples; ++i) {
+    const unsigned hd = hamming(prev, words[i]);
+    out.samples.push_back(Sample{{static_cast<double>(hd)}, 1, ref[i]});
+    model_e.push_back(paper.energy(hd));
+    fx.push_back(static_cast<double>(hd));
+    prev = words[i];
+  }
+
+  out.fit = fit_linear(fx.data(), n_samples, 1, ref.data());
+  out.paper_model = accuracy(model_e, ref);
   return out;
 }
 
@@ -94,69 +157,150 @@ DecoderCharacterization characterize_decoder(unsigned n_outputs, unsigned n_samp
 
 MuxCharacterization characterize_mux(unsigned width, unsigned n_inputs,
                                      unsigned n_samples, std::uint64_t seed,
-                                     gate::Technology tech) {
+                                     gate::Technology tech, Engine engine) {
   if (n_samples < 16) throw SimError("characterize_mux: too few samples");
   MuxCharacterization out;
   out.width = width;
   out.n_inputs = n_inputs;
 
   gate::MuxNetlist mux = gate::build_mux(width, n_inputs);
-  gate::GateSim simu(mux.nl, tech);
 
+  // Replay the stimulus policy up front: randomly change the selected
+  // input's data, occasionally the select. Each step records only its
+  // delta (one rewritten data input); any point of the sequence is
+  // reconstructed by rolling the deltas forward, which both engines do
+  // in strict step order.
+  struct Step {
+    unsigned sel = 0;
+    unsigned prev_sel = 0;
+    unsigned hd_in = 0;
+    unsigned victim = 0;       ///< data input rewritten this step
+    std::uint64_t word = 0;    ///< its new value
+  };
   std::mt19937_64 rng(seed);
   StimulusGen data_gen(StimulusGen::Profile::kUniform, width, seed + 2);
   StimulusGen low_gen(StimulusGen::Profile::kLowActivity, width, seed + 3);
 
-  std::vector<std::uint64_t> data(n_inputs, 0);
-  unsigned sel = 0;
-  std::uint64_t prev_out = 0;
+  std::vector<Step> steps(n_samples);
+  {
+    std::vector<std::uint64_t> data(n_inputs, 0);
+    unsigned sel = 0;
+    for (unsigned s = 0; s < n_samples; ++s) {
+      Step& st = steps[s];
+      st.prev_sel = sel;
+      if (rng() % 4 == 0) sel = static_cast<unsigned>(rng() % n_inputs);
+      const std::uint64_t new_word = (s % 2 == 0) ? data_gen.next() : low_gen.next();
+      const unsigned victim = sel;
+      st.sel = sel;
+      st.victim = victim;
+      st.word = new_word;
+      st.hd_in = hamming(data[victim], new_word);
+      data[victim] = new_word;
+    }
+  }
 
-  for (unsigned i = 0; i < n_inputs; ++i) drive_word(simu, mux.data[i], 0);
-  drive_word(simu, mux.sel, 0);
-  simu.eval();
-  simu.reset_accounting();
+  std::vector<double> ref(n_samples, 0.0);
+  std::vector<std::uint64_t> outs(n_samples, 0);
+  if (engine == Engine::kScalar) {
+    gate::GateSim simu(mux.nl, tech);
+    for (unsigned i = 0; i < n_inputs; ++i) drive_word(simu, mux.data[i], 0);
+    drive_word(simu, mux.sel, 0);
+    simu.eval();
+    for (unsigned s = 0; s < n_samples; ++s) {
+      drive_word(simu, mux.data[steps[s].victim], steps[s].word);
+      drive_word(simu, mux.sel, steps[s].sel);
+      simu.reset_accounting();
+      simu.eval();
+      ref[s] = simu.energy();
+      std::uint64_t cur_out = 0;
+      for (unsigned b = 0; b < width; ++b) {
+        if (simu.value(mux.out[b])) cur_out |= 1ull << b;
+      }
+      outs[s] = cur_out;
+    }
+  } else {
+    // Lane j of each batch carries trial base+j: previous assignment in
+    // the first (unaccounted) wave, measured assignment in the second.
+    // The measured assignments come from rolling the step deltas
+    // forward, written lane-major ([input i][lane j]) and transposed to
+    // pin words -- and since lane j's previous assignment is lane j-1's
+    // measured one, the first wave reuses those pin words shifted up one
+    // lane, carrying in the batch-entry assignment at lane 0. One
+    // transpose per bundle per batch instead of two.
+    gate::BitSim simu(mux.nl, tech, gate::BitSim::Accounting::kPerLane);
+    std::vector<std::uint64_t> cur_buf(n_inputs * kLanes, 0);
+    std::vector<std::uint64_t> carry(n_inputs, 0);  ///< batch-entry assignment
+    std::uint64_t cur_sel_w[kLanes];
+    std::uint64_t lane_w[kLanes];
+    std::vector<std::uint64_t> rolling(n_inputs, 0);
+    unsigned carry_sel = 0;
+    const unsigned sel_bits = static_cast<unsigned>(mux.sel.size());
+    for (unsigned base = 0; base < n_samples; base += kLanes) {
+      const unsigned lanes = std::min(kLanes, n_samples - base);
+      for (unsigned j = 0; j < lanes; ++j) {
+        const Step& st = steps[base + j];
+        rolling[st.victim] = st.word;
+        for (unsigned i = 0; i < n_inputs; ++i) {
+          cur_buf[i * kLanes + j] = rolling[i];
+        }
+        cur_sel_w[j] = st.sel;
+      }
+      for (unsigned i = 0; i < n_inputs; ++i) {
+        std::uint64_t* w = &cur_buf[i * kLanes];
+        std::fill(w + lanes, w + kLanes, 0);
+        gate::bit_transpose_64x64(w);
+      }
+      std::fill(cur_sel_w + lanes, cur_sel_w + kLanes, 0);
+      gate::bit_transpose_64x64(cur_sel_w);
+
+      for (unsigned i = 0; i < n_inputs; ++i) {
+        const std::uint64_t* w = &cur_buf[i * kLanes];
+        for (unsigned b = 0; b < width; ++b) {
+          simu.set_input(mux.data[i][b], w[b] << 1 | (carry[i] >> b & 1u));
+        }
+      }
+      for (unsigned b = 0; b < sel_bits; ++b) {
+        simu.set_input(mux.sel[b], cur_sel_w[b] << 1 | (carry_sel >> b & 1u));
+      }
+      simu.eval_unaccounted();
+      for (unsigned i = 0; i < n_inputs; ++i) {
+        const std::uint64_t* w = &cur_buf[i * kLanes];
+        for (unsigned b = 0; b < width; ++b) simu.set_input(mux.data[i][b], w[b]);
+      }
+      for (unsigned b = 0; b < sel_bits; ++b) simu.set_input(mux.sel[b], cur_sel_w[b]);
+      simu.reset_accounting();
+      simu.eval();
+      read_lane_words(simu, mux.out, lane_w);
+      for (unsigned j = 0; j < lanes; ++j) {
+        ref[base + j] = simu.lane_energy(j);
+        outs[base + j] = lane_w[j];
+      }
+      carry = rolling;
+      carry_sel = steps[base + lanes - 1].sel;
+    }
+  }
 
   power::MuxModel default_model(width, n_inputs, tech);
-  std::vector<double> def_e, ref_e;
-
+  std::vector<double> def_e, fx;
+  out.samples.reserve(n_samples);
+  def_e.reserve(n_samples);
+  fx.reserve(n_samples * 3);
+  std::uint64_t prev_out = 0;
   for (unsigned s = 0; s < n_samples; ++s) {
-    // Randomly change the selected input's data, occasionally the select.
-    const unsigned prev_sel = sel;
-    if (rng() % 4 == 0) sel = static_cast<unsigned>(rng() % n_inputs);
-    const std::uint64_t new_word = (s % 2 == 0) ? data_gen.next() : low_gen.next();
-    const unsigned victim = sel;
-    const unsigned hd_in = hamming(data[victim], new_word);
-    data[victim] = new_word;
-
-    drive_word(simu, mux.data[victim], new_word);
-    drive_word(simu, mux.sel, sel);
-    simu.reset_accounting();
-    simu.eval();
-    const double e = simu.energy();
-
-    std::uint64_t cur_out = 0;
-    for (unsigned b = 0; b < width; ++b) {
-      if (simu.value(mux.out[b])) cur_out |= 1ull << b;
-    }
-    const unsigned hd_sel = hamming(prev_sel, sel);
-    const unsigned hd_out = hamming(prev_out, cur_out);
-    prev_out = cur_out;
-
+    const unsigned hd_in = steps[s].hd_in;
+    const unsigned hd_sel = hamming(steps[s].prev_sel, steps[s].sel);
+    const unsigned hd_out = hamming(prev_out, outs[s]);
+    prev_out = outs[s];
     out.samples.push_back(Sample{{static_cast<double>(hd_in),
                                   static_cast<double>(hd_sel),
                                   static_cast<double>(hd_out)},
-                                 e});
+                                 3, ref[s]});
     def_e.push_back(default_model.energy(hd_in, hd_sel, hd_out));
-    ref_e.push_back(e);
+    fx.insert(fx.end(), {static_cast<double>(hd_in), static_cast<double>(hd_sel),
+                         static_cast<double>(hd_out)});
   }
 
-  std::vector<std::vector<double>> x;
-  std::vector<double> y;
-  for (const Sample& smp : out.samples) {
-    x.push_back(smp.features);
-    y.push_back(smp.energy);
-  }
-  out.fit = fit_linear(x, y);
+  out.fit = fit_linear(fx.data(), n_samples, 3, ref.data());
 
   // Map the fitted linear coefficients back into MuxModel's structural
   // form: E = vdd^2/4 * c_node * (k_in*HD_IN + k_sel*w*HD_SEL + k_out*HD_OUT*(c_out/c_node)).
@@ -167,13 +311,14 @@ MuxCharacterization characterize_mux(unsigned width, unsigned n_inputs,
 
   power::MuxModel fitted(width, n_inputs, tech, out.calibrated);
   std::vector<double> fit_e;
+  fit_e.reserve(n_samples);
   for (const Sample& smp : out.samples) {
     fit_e.push_back(fitted.energy(static_cast<unsigned>(smp.features[0]),
                                   static_cast<unsigned>(smp.features[1]),
                                   static_cast<unsigned>(smp.features[2])));
   }
-  out.default_model = accuracy(def_e, ref_e);
-  out.fitted_model = accuracy(fit_e, ref_e);
+  out.default_model = accuracy(def_e, ref);
+  out.fitted_model = accuracy(fit_e, ref);
   return out;
 }
 
@@ -182,57 +327,124 @@ MuxCharacterization characterize_mux(unsigned width, unsigned n_inputs,
 
 ArbiterCharacterization characterize_arbiter(unsigned n_masters, unsigned n_cycles,
                                              std::uint64_t seed,
-                                             gate::Technology tech) {
+                                             gate::Technology tech, Engine engine) {
   if (n_cycles < 16) throw SimError("characterize_arbiter: too few cycles");
   ArbiterCharacterization out;
   out.n_masters = n_masters;
 
   gate::ArbiterNetlist arb = gate::build_priority_arbiter(n_masters);
-  gate::GateSim simu(arb.nl, tech);
-  power::ArbiterFsmModel fsm_model(n_masters, tech);
 
+  // Sticky random requests, generated up front: each line flips with
+  // probability 1/4 per cycle. One 64-bit draw is sliced into 32
+  // independent 2-bit fields (one per master), so a cycle costs
+  // ceil(n_masters/32) draws instead of n_masters. The draw schedule is
+  // part of the stimulus definition and is shared verbatim by both
+  // engines.
   std::mt19937_64 rng(seed);
+  std::vector<std::uint32_t> reqs(n_cycles);
+  {
+    std::uint32_t req = 0;
+    for (unsigned c = 0; c < n_cycles; ++c) {
+      for (unsigned base = 0; base < n_masters; base += 32) {
+        std::uint64_t draw = rng();
+        const unsigned hi = std::min(n_masters, base + 32);
+        for (unsigned m = base; m < hi; ++m, draw >>= 2) {
+          if ((draw & 3u) == 0) req ^= 1u << m;
+        }
+      }
+      reqs[c] = req;
+    }
+  }
+
+  std::vector<double> ref(n_cycles, 0.0);
+  std::vector<unsigned> grants(n_cycles, 0);
+  if (engine == Engine::kScalar) {
+    gate::GateSim simu(arb.nl, tech);
+    for (unsigned c = 0; c < n_cycles; ++c) {
+      for (unsigned m = 0; m < n_masters; ++m) {
+        simu.set_input(arb.req[m], (reqs[c] >> m & 1u) != 0);
+      }
+      simu.reset_accounting();
+      simu.tick();
+      ref[c] = simu.energy();
+      unsigned grant = 0;
+      for (unsigned m = 0; m < n_masters; ++m) {
+        if (simu.value(arb.grant[m])) grant = m;
+      }
+      grants[c] = grant;
+    }
+  } else {
+    // The arbiter is sequential, but its next-state logic is a pure
+    // priority encode of the request lines -- the post-tick netlist
+    // state is a function of the last request vector alone. So lane j
+    // replays the j-th contiguous chunk of the cycle sequence after a
+    // single unaccounted warm-up tick with the chunk's predecessor
+    // request (all-zero before cycle 0, which reproduces the reset
+    // state): n_cycles scalar ticks become ceil(n_cycles/64)+1 64-lane
+    // ticks.
+    gate::BitSim simu(arb.nl, tech, gate::BitSim::Accounting::kPerLane);
+    const unsigned len = (n_cycles + kLanes - 1) / kLanes;
+    std::uint64_t lane_req[kLanes];
+    std::uint64_t grant_w[kLanes];
+    auto lane_cycle = [len](unsigned j, unsigned t) { return j * len + t; };
+
+    // Handover detection needs no per-lane state: the sample-order loop
+    // below walks grants[] with a rolling predecessor, which crosses
+    // chunk boundaries exactly like the scalar cycle sequence.
+    std::uint32_t prev_req[kLanes];
+    for (unsigned j = 0; j < kLanes; ++j) {
+      const unsigned start = lane_cycle(j, 0);
+      lane_req[j] = (j == 0 || start > n_cycles || start == 0) ? 0 : reqs[start - 1];
+      prev_req[j] = static_cast<std::uint32_t>(lane_req[j]);
+    }
+    drive_lane_words(simu, arb.req, lane_req, kLanes);
+    simu.tick();
+
+    for (unsigned t = 0; t < len; ++t) {
+      for (unsigned j = 0; j < kLanes; ++j) {
+        const unsigned c = lane_cycle(j, t);
+        lane_req[j] = c < n_cycles ? reqs[c] : prev_req[j];
+      }
+      drive_lane_words(simu, arb.req, lane_req, kLanes);
+      simu.reset_accounting();
+      simu.tick();
+      read_lane_words(simu, arb.grant, grant_w);
+      for (unsigned j = 0; j < kLanes; ++j) {
+        const unsigned c = lane_cycle(j, t);
+        if (c >= n_cycles) continue;
+        ref[c] = simu.lane_energy(j);
+        // Highest set grant line wins, matching the scalar scan.
+        unsigned grant = 0;
+        for (unsigned m = 0; m < n_masters; ++m) {
+          if ((grant_w[j] >> m & 1u) != 0) grant = m;
+        }
+        grants[c] = grant;
+        prev_req[j] = reqs[c];
+      }
+    }
+  }
+
+  power::ArbiterFsmModel fsm_model(n_masters, tech);
+  std::vector<double> model_e, fx;
+  out.samples.reserve(n_cycles);
+  model_e.reserve(n_cycles);
+  fx.reserve(n_cycles * 2);
   std::uint32_t prev_req = 0;
   unsigned prev_grant = 0;
-
-  std::vector<double> model_e, ref_e;
   for (unsigned c = 0; c < n_cycles; ++c) {
-    // Sticky random requests: each line flips with probability 1/4.
-    std::uint32_t req = prev_req;
-    for (unsigned m = 0; m < n_masters; ++m) {
-      if (rng() % 4 == 0) req ^= 1u << m;
-    }
-    for (unsigned m = 0; m < n_masters; ++m) {
-      simu.set_input(arb.req[m], (req >> m & 1u) != 0);
-    }
-    simu.reset_accounting();
-    simu.tick();
-    const double e = simu.energy();
-
-    unsigned grant = 0;
-    for (unsigned m = 0; m < n_masters; ++m) {
-      if (simu.value(arb.grant[m])) grant = m;
-    }
-    const bool handover = grant != prev_grant;
-    const unsigned hd_req = hamming(prev_req, req);
-
+    const bool handover = grants[c] != prev_grant;
+    const unsigned hd_req = hamming(prev_req, reqs[c]);
     out.samples.push_back(Sample{{static_cast<double>(hd_req),
                                   handover ? 1.0 : 0.0},
-                                 e});
+                                 2, ref[c]});
     model_e.push_back(fsm_model.energy(hd_req, handover));
-    ref_e.push_back(e);
-    prev_req = req;
-    prev_grant = grant;
+    fx.insert(fx.end(), {static_cast<double>(hd_req), handover ? 1.0 : 0.0});
+    prev_req = reqs[c];
+    prev_grant = grants[c];
   }
 
-  std::vector<std::vector<double>> x;
-  std::vector<double> y;
-  for (const Sample& smp : out.samples) {
-    x.push_back(smp.features);
-    y.push_back(smp.energy);
-  }
-  out.fit = fit_linear(x, y);
-  out.fsm_model = accuracy(model_e, ref_e);
+  out.fit = fit_linear(fx.data(), n_cycles, 2, ref.data());
+  out.fsm_model = accuracy(model_e, ref);
   return out;
 }
 

@@ -7,6 +7,7 @@
 // closed-form macromodel tracks the gate level -- the step the authors
 // performed with SIS.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -17,9 +18,28 @@
 
 namespace ahbp::charlib {
 
+/// Gate-level engine the characterization flows drive for reference
+/// energies.
+///
+/// kBitParallel packs 64 trials into one gate::BitSim pass (lane j of
+/// batch b = trial 64*b+j for the combinational decoder/mux flows; for
+/// the sequential arbiter, lane j replays the j-th contiguous chunk of
+/// the cycle sequence after a one-tick state warm-up). The mapping is
+/// deterministic and the per-sample energies -- and therefore the fitted
+/// coefficients -- are bit-identical to kScalar; the regression tests
+/// assert exact equality, well inside the documented tolerance.
+enum class Engine : std::uint8_t {
+  kScalar,       ///< one pattern per gate::GateSim evaluation
+  kBitParallel,  ///< 64 patterns per gate::BitSim evaluation (default)
+};
+
 /// One characterization sample: activity features and measured energy.
+/// Features are stored inline (no flow has more than 3), so collecting
+/// the tens of thousands of samples a sweep produces costs no per-sample
+/// heap allocation.
 struct Sample {
-  std::vector<double> features;
+  std::array<double, 3> features{};  ///< first `n_features` entries valid
+  unsigned n_features = 0;
   double energy = 0.0;  ///< gate-level reference energy [J]
 };
 
@@ -43,7 +63,8 @@ struct DecoderCharacterization {
 /// `n_samples` random transitions.
 [[nodiscard]] DecoderCharacterization characterize_decoder(
     unsigned n_outputs, unsigned n_samples, std::uint64_t seed,
-    gate::Technology tech = gate::Technology::default_2003());
+    gate::Technology tech = gate::Technology::default_2003(),
+    Engine engine = Engine::kBitParallel);
 
 /// Mux characterization result.
 struct MuxCharacterization {
@@ -59,7 +80,8 @@ struct MuxCharacterization {
 /// Characterizes an n-to-1 mux of the given shape.
 [[nodiscard]] MuxCharacterization characterize_mux(
     unsigned width, unsigned n_inputs, unsigned n_samples, std::uint64_t seed,
-    gate::Technology tech = gate::Technology::default_2003());
+    gate::Technology tech = gate::Technology::default_2003(),
+    Engine engine = Engine::kBitParallel);
 
 /// Arbiter characterization result.
 struct ArbiterCharacterization {
@@ -72,6 +94,7 @@ struct ArbiterCharacterization {
 /// Characterizes the priority-arbiter FSM over random request patterns.
 [[nodiscard]] ArbiterCharacterization characterize_arbiter(
     unsigned n_masters, unsigned n_cycles, std::uint64_t seed,
-    gate::Technology tech = gate::Technology::default_2003());
+    gate::Technology tech = gate::Technology::default_2003(),
+    Engine engine = Engine::kBitParallel);
 
 }  // namespace ahbp::charlib

@@ -1,5 +1,6 @@
 #include "charlib/fit.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/report.hpp"
@@ -46,28 +47,34 @@ std::vector<double> solve_linear_system(std::vector<double> a, std::vector<doubl
   return x;
 }
 
-FitResult fit_linear(const std::vector<std::vector<double>>& features,
-                     const std::vector<double>& y) {
-  const std::size_t m = y.size();
-  if (features.size() != m) throw SimError("fit_linear: sample count mismatch");
+FitResult fit_linear(const double* features, std::size_t n_samples,
+                     std::size_t n_features, const double* y) {
+  const std::size_t m = n_samples;
   if (m == 0) throw SimError("fit_linear: no samples");
-  const std::size_t k = features[0].size() + 1;  // + intercept
+  const std::size_t k = n_features + 1;  // + intercept
   if (m < k) throw SimError("fit_linear: underdetermined fit");
-  for (const auto& row : features) {
-    if (row.size() + 1 != k) throw SimError("fit_linear: ragged feature rows");
-  }
 
-  // Normal equations: (X^T X) c = X^T y with X = [1 | features].
+  // Normal equations: (X^T X) c = X^T y with X = [1 | features]. X^T X
+  // is symmetric with per-cell sums independent of each other, so only
+  // the upper triangle is accumulated and mirrored afterwards -- the
+  // mirrored cells hold the exact same doubles the full scan would
+  // produce (commuted products, same sample order).
   std::vector<double> xtx(k * k, 0.0);
   std::vector<double> xty(k, 0.0);
-  auto x_at = [&](std::size_t row, std::size_t col) -> double {
-    return col == 0 ? 1.0 : features[row][col - 1];
-  };
   for (std::size_t s = 0; s < m; ++s) {
+    const double* row = features + s * n_features;
     for (std::size_t i = 0; i < k; ++i) {
-      xty[i] += x_at(s, i) * y[s];
-      for (std::size_t j = 0; j < k; ++j) xtx[i * k + j] += x_at(s, i) * x_at(s, j);
+      const double xi = i == 0 ? 1.0 : row[i - 1];
+      xty[i] += xi * y[s];
+      double* acc = &xtx[i * k];
+      if (i == 0) acc[0] += 1.0;
+      for (std::size_t j = std::max<std::size_t>(i, 1); j < k; ++j) {
+        acc[j] += xi * row[j - 1];
+      }
     }
+  }
+  for (std::size_t i = 1; i < k; ++i) {
+    for (std::size_t j = 0; j < i; ++j) xtx[i * k + j] = xtx[j * k + i];
   }
 
   FitResult res;
@@ -76,12 +83,13 @@ FitResult fit_linear(const std::vector<std::vector<double>>& features,
 
   // Goodness of fit.
   double mean = 0.0;
-  for (double v : y) mean += v;
+  for (std::size_t s = 0; s < m; ++s) mean += y[s];
   mean /= static_cast<double>(m);
   double ss_tot = 0.0, ss_res = 0.0;
   for (std::size_t s = 0; s < m; ++s) {
+    const double* row = features + s * n_features;
     double pred = res.coefficients[0];
-    for (std::size_t i = 1; i < k; ++i) pred += res.coefficients[i] * x_at(s, i);
+    for (std::size_t i = 1; i < k; ++i) pred += res.coefficients[i] * row[i - 1];
     const double r = y[s] - pred;
     ss_res += r * r;
     ss_tot += (y[s] - mean) * (y[s] - mean);
@@ -89,6 +97,21 @@ FitResult fit_linear(const std::vector<std::vector<double>>& features,
   }
   res.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
   return res;
+}
+
+FitResult fit_linear(const std::vector<std::vector<double>>& features,
+                     const std::vector<double>& y) {
+  const std::size_t m = y.size();
+  if (features.size() != m) throw SimError("fit_linear: sample count mismatch");
+  if (m == 0) throw SimError("fit_linear: no samples");
+  const std::size_t k0 = features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != k0) throw SimError("fit_linear: ragged feature rows");
+  }
+  std::vector<double> flat;
+  flat.reserve(m * k0);
+  for (const auto& row : features) flat.insert(flat.end(), row.begin(), row.end());
+  return fit_linear(flat.data(), m, k0, y.data());
 }
 
 }  // namespace ahbp::charlib

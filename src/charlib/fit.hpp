@@ -7,6 +7,7 @@
 // normal equations with Gaussian elimination -- fine for the handful of
 // features these models have.
 
+#include <cstddef>
 #include <vector>
 
 namespace ahbp::charlib {
@@ -27,6 +28,15 @@ struct FitResult {
 /// throws sim::SimError otherwise.
 [[nodiscard]] FitResult fit_linear(const std::vector<std::vector<double>>& features,
                                    const std::vector<double>& y);
+
+/// Same fit over a flat row-major feature matrix (`n_samples` rows of
+/// `n_features` columns, no intercept column -- it is added internally).
+/// This is the hot-path form: the nested-vector overload forwards here,
+/// and callers that already hold contiguous features avoid the per-row
+/// vector allocations entirely. Accumulation order matches the nested
+/// overload exactly, so the two produce bit-identical coefficients.
+[[nodiscard]] FitResult fit_linear(const double* features, std::size_t n_samples,
+                                   std::size_t n_features, const double* y);
 
 /// Solves the dense linear system A x = b (Gaussian elimination with
 /// partial pivoting). A is row-major n x n. Throws on singular systems.

@@ -3,6 +3,7 @@
 // (netlists, structural generators, toggle-energy simulation).
 
 #include "gate/area.hpp"
+#include "gate/bitsim.hpp"
 #include "gate/blif.hpp"
 #include "gate/gatesim.hpp"
 #include "gate/netlist.hpp"

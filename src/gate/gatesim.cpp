@@ -12,6 +12,7 @@ GateSim::GateSim(const Netlist& nl, Technology tech)
     : nl_(nl),
       tech_(tech),
       values_(nl.net_count(), 0),
+      scratch_(nl.net_count(), 0),
       input_next_(nl.net_count(), 0),
       toggle_counts_(nl.net_count(), 0),
       net_cap_(nl.net_count(), 0.0) {
@@ -46,14 +47,9 @@ void GateSim::reset_accounting() {
   energy_ = 0.0;
 }
 
-void GateSim::settle_and_account(bool account) {
-  std::vector<std::uint8_t> next = values_;
-
-  // Apply pending primary-input values.
-  for (NetId n : nl_.inputs()) next[n] = input_next_[n];
-
+void GateSim::settle(std::vector<std::uint8_t>& next) {
   // Levelized evaluation: one pass in topological order settles
-  // everything (DFF outputs were already placed in `next` by tick()).
+  // everything (DFF outputs are carried over in `next` by the caller).
   const auto& gates = nl_.gates();
   for (std::size_t gi : nl_.topo_order()) {
     const GateInst& g = gates[gi];
@@ -61,16 +57,28 @@ void GateSim::settle_and_account(bool account) {
     const bool b = g.in1 != kInvalidNet && next[g.in1] != 0;
     next[g.out] = eval_gate(g.type, a, b) ? 1 : 0;
   }
+}
 
+void GateSim::account_and_commit(bool account) {
   if (account) {
     for (NetId n = 0; n < nl_.net_count(); ++n) {
-      if (next[n] != values_[n]) {
+      if (scratch_[n] != values_[n]) {
         ++toggle_counts_[n];
         energy_ += tech_.toggle_energy(net_cap_[n]);
       }
     }
   }
-  values_ = std::move(next);
+  values_.swap(scratch_);
+}
+
+void GateSim::settle_and_account(bool account) {
+  scratch_ = values_;
+
+  // Apply pending primary-input values.
+  for (NetId n : nl_.inputs()) scratch_[n] = input_next_[n];
+
+  settle(scratch_);
+  account_and_commit(account);
 }
 
 void GateSim::eval() { settle_and_account(true); }
@@ -81,24 +89,12 @@ void GateSim::tick() {
   // state ripples through the grant decode. Both waves are accounted.
   settle_and_account(true);
 
-  std::vector<std::uint8_t> next = values_;
+  scratch_ = values_;
   for (const GateInst& g : nl_.gates()) {
-    if (g.type == GateType::kDff) next[g.out] = values_[g.in0];
+    if (g.type == GateType::kDff) scratch_[g.out] = values_[g.in0];
   }
-  const auto& gates = nl_.gates();
-  for (std::size_t gi : nl_.topo_order()) {
-    const GateInst& g = gates[gi];
-    const bool a = next[g.in0] != 0;
-    const bool b = g.in1 != kInvalidNet && next[g.in1] != 0;
-    next[g.out] = eval_gate(g.type, a, b) ? 1 : 0;
-  }
-  for (NetId n = 0; n < nl_.net_count(); ++n) {
-    if (next[n] != values_[n]) {
-      ++toggle_counts_[n];
-      energy_ += tech_.toggle_energy(net_cap_[n]);
-    }
-  }
-  values_ = std::move(next);
+  settle(scratch_);
+  account_and_commit(true);
 }
 
 }  // namespace ahbp::gate

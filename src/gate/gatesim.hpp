@@ -52,10 +52,15 @@ public:
 
 private:
   void settle_and_account(bool account);
+  /// Evaluates all combinational gates in topological order over `next`.
+  void settle(std::vector<std::uint8_t>& next);
+  /// Accounts next-vs-current transitions (optionally) and commits `next`.
+  void account_and_commit(bool account);
 
   const Netlist& nl_;
   Technology tech_;
   std::vector<std::uint8_t> values_;        ///< settled value per net
+  std::vector<std::uint8_t> scratch_;       ///< settle buffer (reused, no per-call alloc)
   std::vector<std::uint8_t> input_next_;    ///< pending primary-input values
   std::vector<std::uint64_t> toggle_counts_;
   std::vector<double> net_cap_;

@@ -59,6 +59,8 @@ NetId Netlist::add_net(std::string name) {
 void Netlist::mark_input(NetId n) {
   if (n >= net_count()) throw SimError("mark_input: bad net id");
   inputs_.push_back(n);
+  if (input_flag_.size() < net_count()) input_flag_.resize(net_count(), 0);
+  input_flag_[n] = 1;
 }
 
 void Netlist::mark_output(NetId n) {
@@ -108,10 +110,6 @@ std::size_t Netlist::dff_count() const {
   return static_cast<std::size_t>(
       std::count_if(gates_.begin(), gates_.end(),
                     [](const GateInst& g) { return g.type == GateType::kDff; }));
-}
-
-bool Netlist::is_input(NetId n) const {
-  return std::find(inputs_.begin(), inputs_.end(), n) != inputs_.end();
 }
 
 bool Netlist::is_output(NetId n) const {

@@ -92,7 +92,10 @@ public:
   [[nodiscard]] const std::vector<NetId>& inputs() const { return inputs_; }
   [[nodiscard]] const std::vector<NetId>& outputs() const { return outputs_; }
   [[nodiscard]] const std::string& net_name(NetId n) const { return net_names_[n]; }
-  [[nodiscard]] bool is_input(NetId n) const;
+  /// O(1): simulators call this on every driven input, every cycle.
+  [[nodiscard]] bool is_input(NetId n) const {
+    return n < input_flag_.size() && input_flag_[n] != 0;
+  }
   [[nodiscard]] bool is_output(NetId n) const;
   /// Indices into gates() in topological (evaluation) order; valid after
   /// finalize(). DFFs are excluded (they are sequential boundaries).
@@ -107,6 +110,7 @@ private:
   std::vector<std::string> net_names_;
   std::vector<GateInst> gates_;
   std::vector<NetId> inputs_;
+  std::vector<std::uint8_t> input_flag_;  ///< [net] -> is primary input
   std::vector<NetId> outputs_;
   std::vector<std::size_t> topo_;
   bool finalized_ = false;

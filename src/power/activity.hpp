@@ -8,22 +8,20 @@
 // that class for one signal; Activity groups named channels (the paper's
 // "Masters signals activity storage / Slaves signals activity storage").
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace ahbp::power {
 
 /// Hamming distance between two words: the number of toggling bits --
-/// the central activity measure of the paper's macromodels.
+/// the central activity measure of the paper's macromodels. One
+/// popcount instruction on any modern target (the old Kernighan loop
+/// was O(toggles) of dependent ops).
 [[nodiscard]] constexpr unsigned hamming(std::uint64_t a, std::uint64_t b) {
-  std::uint64_t x = a ^ b;
-  unsigned n = 0;
-  while (x != 0) {
-    x &= x - 1;
-    ++n;
-  }
-  return n;
+  return static_cast<unsigned>(std::popcount(a ^ b));
 }
 
 /// Switching-activity accumulator for one observed signal.
@@ -50,6 +48,13 @@ public:
   [[nodiscard]] double mean_hd() const;
   /// Previous observed value.
   [[nodiscard]] std::uint64_t last_value() const { return last_value_; }
+
+  /// Overwrites the accumulated state wholesale. Used by
+  /// PackedActivity::export_to() to materialize a map-of-channels view
+  /// from the SoA hot-path storage; not meant for instrumentation code.
+  void restore(std::uint64_t last_value, unsigned last_hd,
+               std::uint64_t bit_changes, std::uint64_t nonzero,
+               std::uint64_t samples);
 
   void reset();
 
@@ -92,6 +97,63 @@ public:
 
 private:
   std::unordered_map<std::string, ActivityChannel> channels_;
+};
+
+/// Structure-of-arrays activity capture for a fixed channel set -- the
+/// cycle-kernel hot path behind PowerFsm (and, through it, the energy
+/// attribution pipeline).
+///
+/// Where Activity scatters each channel's state across unordered_map
+/// nodes, PackedActivity keeps the previous values and all counters in
+/// contiguous arrays, so the per-cycle capture is one tight loop of
+/// XOR + popcount over packed signal words -- no pointer chasing, no
+/// per-channel Kernighan loops. The channel set is fixed at
+/// construction; store_all() observes every channel exactly once per
+/// cycle, which is precisely the sampling discipline PowerFsm::step()
+/// follows.
+///
+/// For reporting, export_to() materializes a plain Activity with
+/// identical per-channel statistics, so the map-based view (reports,
+/// analytic estimator) is unchanged.
+class PackedActivity {
+public:
+  explicit PackedActivity(std::vector<std::string> names);
+
+  /// Observes one value per channel (vals[i] -> channel i) and writes
+  /// each channel's Hamming distance to hd_out[i]. First observation
+  /// yields 0 for every channel, like ActivityChannel.
+  void store_all(const std::uint64_t* vals, unsigned* hd_out);
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] const std::string& name(std::size_t i) const { return names_[i]; }
+  [[nodiscard]] std::uint64_t bit_change_count(std::size_t i) const {
+    return bit_changes_[i];
+  }
+  /// Sum over all channels.
+  [[nodiscard]] std::uint64_t bit_change_count() const;
+  [[nodiscard]] std::uint64_t nonzero_count(std::size_t i) const {
+    return nonzero_[i];
+  }
+  [[nodiscard]] std::uint64_t sample_count() const { return samples_; }
+  [[nodiscard]] std::uint64_t last_value(std::size_t i) const {
+    return last_value_[i];
+  }
+  [[nodiscard]] unsigned last_hd(std::size_t i) const { return last_hd_[i]; }
+
+  /// Copies every channel's statistics into `out` (channels created on
+  /// demand; existing unrelated channels are left alone).
+  void export_to(Activity& out) const;
+
+  void reset();
+
+private:
+  std::vector<std::string> names_;
+  std::vector<std::uint64_t> last_value_;
+  std::vector<std::uint64_t> bit_changes_;
+  std::vector<std::uint64_t> nonzero_;
+  std::vector<unsigned> last_hd_;
+  std::uint64_t samples_ = 0;  ///< observations per channel (lock-stepped)
+  bool has_value_ = false;
 };
 
 }  // namespace ahbp::power

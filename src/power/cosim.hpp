@@ -10,9 +10,11 @@
 // faithful accuracy measurement (totals ratio + per-cycle correlation).
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "ahb/bus.hpp"
+#include "gate/bitsim.hpp"
 #include "gate/gatesim.hpp"
 #include "gate/synth.hpp"
 #include "power/macromodel.hpp"
@@ -37,19 +39,37 @@ struct CosimSeries {
 /// Runs the gate-level address mux and arbiter beside a live bus.
 class GateLevelCrossCheck : public sim::Module {
 public:
+  /// How the gate-level references are evaluated.
+  enum class Engine : std::uint8_t {
+    kPerCycle,  ///< one GateSim eval/tick per bus cycle
+    /// Buffer 64 cycles of live stimulus and replay them as the 64
+    /// lanes of one gate::BitSim pass (cycle base+j = lane j; every
+    /// lane's "previous" assignment comes from the lane below via a
+    /// word shift, carrying the last pre-batch cycle into lane 0).
+    /// Per-cycle gate energies are bit-identical to kPerCycle.
+    kBatched,
+  };
+
   GateLevelCrossCheck(sim::Module* parent, std::string name, ahb::AhbBus& bus);
   GateLevelCrossCheck(sim::Module* parent, std::string name, ahb::AhbBus& bus,
-                      gate::Technology tech);
+                      gate::Technology tech, Engine engine = Engine::kPerCycle);
 
   /// Address-path (32-bit) M2S mux: gate level vs MuxModel.
-  [[nodiscard]] const CosimSeries& mux_series() const { return mux_series_; }
+  [[nodiscard]] const CosimSeries& mux_series() const;
   /// Arbiter: gate level vs ArbiterFsmModel.
-  [[nodiscard]] const CosimSeries& arbiter_series() const { return arb_series_; }
+  [[nodiscard]] const CosimSeries& arbiter_series() const;
 
   [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] Engine engine() const { return engine_; }
+
+  /// Drains buffered cycles (kBatched) into the series as a partial
+  /// batch. The series accessors call this themselves; recording
+  /// continues seamlessly afterwards. No-op for kPerCycle.
+  void flush();
 
 private:
   void on_cycle();
+  void flush_batch();
 
   ahb::AhbBus& bus_;
   gate::Technology tech_;
@@ -67,6 +87,19 @@ private:
   ArbiterFsmModel arb_model_;
   CosimSeries arb_series_;
   std::uint32_t prev_req_ = 0;
+
+  // Batched engine state: buffered stimulus for the in-flight batch and
+  // the carry (the last flushed cycle's assignment, lane 0's "previous").
+  Engine engine_ = Engine::kPerCycle;
+  std::optional<gate::BitSim> mux_bsim_;
+  std::optional<gate::BitSim> arb_bsim_;
+  std::vector<std::uint32_t> pend_addr_;  ///< n_masters entries per cycle
+  std::vector<std::uint8_t> pend_sel_;    ///< one entry per cycle
+  std::vector<std::uint32_t> pend_req_;   ///< one entry per cycle
+  std::vector<std::uint32_t> lane_prev_addr_;
+  std::uint8_t lane_prev_sel_ = 0;
+  std::uint32_t lane_prev_req_ = 0;
+  std::vector<std::uint64_t> pin_words_;  ///< flush scratch, no per-batch alloc
 
   std::uint64_t cycles_ = 0;
   sim::Method proc_;

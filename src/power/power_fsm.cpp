@@ -32,6 +32,13 @@ std::string instruction_name(BusMode from, BusMode to) {
   return std::string(instruction_view(from, to));
 }
 
+namespace {
+/// Channel names, indexed by PowerFsm::Channel.
+const std::vector<std::string> kChannelNames = {
+    "haddr", "hcontrol", "hwdata",     "hrdata",  "hresp",
+    "hbusreq", "hgrant",  "data_slave", "hmaster"};
+}  // namespace
+
 PowerFsm::PowerFsm(Config cfg)
     : cfg_(cfg),
       dec_model_(cfg.n_slaves, cfg.tech),
@@ -39,26 +46,14 @@ PowerFsm::PowerFsm(Config cfg)
                  cfg.n_masters, cfg.tech, cfg.m2s_coefficients),
       s2m_model_(cfg.data_width + 3, cfg.n_slaves, cfg.tech,
                  cfg.s2m_coefficients),
-      arb_model_(cfg.n_masters, cfg.tech) {
+      arb_model_(cfg.n_masters, cfg.tech),
+      packed_(kChannelNames) {
   master_energy_.assign(cfg.n_masters, 0.0);
-  bind_channels();
-}
-
-void PowerFsm::bind_channels() {
-  ch_.haddr = &activity_.channel("haddr");
-  ch_.hcontrol = &activity_.channel("hcontrol");
-  ch_.hwdata = &activity_.channel("hwdata");
-  ch_.hrdata = &activity_.channel("hrdata");
-  ch_.hresp = &activity_.channel("hresp");
-  ch_.hbusreq = &activity_.channel("hbusreq");
-  ch_.hgrant = &activity_.channel("hgrant");
-  ch_.data_slave = &activity_.channel("data_slave");
-  ch_.hmaster = &activity_.channel("hmaster");
 }
 
 void PowerFsm::reset() {
-  activity_.reset();
-  bind_channels();
+  packed_.reset();
+  activity_view_.reset();
   mode_ = BusMode::kIdle;
   first_cycle_ = true;
   prev_ = CycleView{};
@@ -152,25 +147,36 @@ PowerFsm::StepResult PowerFsm::step(const CycleView& v) {
   ++cycles_;
 
   // --- instrumentation: store per-signal switching activity -------------
-  // (the paper's get_activity() called at every bus event)
-  const unsigned hd_addr = ch_.haddr->store_activity(v.haddr);
-  const std::uint64_t control = (static_cast<std::uint64_t>(v.htrans) << 0) |
-                                (static_cast<std::uint64_t>(v.hwrite) << 2) |
-                                (static_cast<std::uint64_t>(v.hsize) << 3) |
-                                (static_cast<std::uint64_t>(v.hburst) << 6);
-  const unsigned hd_ctl = ch_.hcontrol->store_activity(control);
-  const unsigned hd_wdata = ch_.hwdata->store_activity(v.hwdata);
-  const unsigned hd_rdata = ch_.hrdata->store_activity(v.hrdata);
-  const std::uint64_t resp_bundle =
+  // (the paper's get_activity() called at every bus event) -- all nine
+  // signals packed into one SoA word array, Hamming distances computed
+  // in a single XOR+popcount pass.
+  std::uint64_t vals[kNumChannels];
+  unsigned hd[kNumChannels];
+  vals[kChHaddr] = v.haddr;
+  vals[kChHcontrol] = (static_cast<std::uint64_t>(v.htrans) << 0) |
+                      (static_cast<std::uint64_t>(v.hwrite) << 2) |
+                      (static_cast<std::uint64_t>(v.hsize) << 3) |
+                      (static_cast<std::uint64_t>(v.hburst) << 6);
+  vals[kChHwdata] = v.hwdata;
+  vals[kChHrdata] = v.hrdata;
+  vals[kChHresp] =
       (static_cast<std::uint64_t>(v.hresp) << 1) | (v.hready ? 1u : 0u);
-  const unsigned hd_resp = ch_.hresp->store_activity(resp_bundle);
-  const unsigned hd_req = ch_.hbusreq->store_activity(v.req_vector);
-  const unsigned hd_grant = ch_.hgrant->store_activity(v.grant_vector);
+  vals[kChHbusreq] = v.req_vector;
+  vals[kChHgrant] = v.grant_vector;
+  vals[kChDataSlave] = v.data_slave;
+  vals[kChHmaster] = v.hmaster;
+  packed_.store_all(vals, hd);
+
+  const unsigned hd_addr = hd[kChHaddr];
+  const unsigned hd_ctl = hd[kChHcontrol];
+  const unsigned hd_wdata = hd[kChHwdata];
+  const unsigned hd_rdata = hd[kChHrdata];
+  const unsigned hd_resp = hd[kChHresp];
+  const unsigned hd_req = hd[kChHbusreq];
+  const unsigned hd_grant = hd[kChHgrant];
   // The S2M select is physically one-hot: a selection change toggles
   // exactly two select lines regardless of the binary index distance.
-  const unsigned hd_dslave =
-      ch_.data_slave->store_activity(v.data_slave) != 0 ? 2u : 0u;
-  ch_.hmaster->store_activity(v.hmaster);
+  const unsigned hd_dslave = hd[kChDataSlave] != 0 ? 2u : 0u;
 
   const bool handover = !first_cycle_ && v.hmaster != prev_.hmaster;
 

@@ -139,8 +139,15 @@ public:
     return master_energy_;
   }
   [[nodiscard]] BusMode mode() const { return mode_; }
-  /// The instrumentation-side activity storage (paper's Activity object).
-  [[nodiscard]] const Activity& activity() const { return activity_; }
+  /// The instrumentation-side activity storage (paper's Activity
+  /// object). The hot path accumulates into an SoA PackedActivity; this
+  /// accessor materializes the map-of-channels view on demand, with
+  /// per-channel statistics identical to the former per-channel
+  /// storage.
+  [[nodiscard]] const Activity& activity() const {
+    packed_.export_to(activity_view_);
+    return activity_view_;
+  }
   ///@}
 
   [[nodiscard]] const Config& config() const { return cfg_; }
@@ -166,23 +173,26 @@ private:
   MuxModel s2m_model_;
   ArbiterFsmModel arb_model_;
 
-  Activity activity_;
-  /// Hot-path cache: one pointer per monitored channel (pointer-stable
-  /// in the underlying unordered_map -- see Activity), avoiding string
-  /// lookups every cycle.
-  struct Channels {
-    ActivityChannel* haddr;
-    ActivityChannel* hcontrol;
-    ActivityChannel* hwdata;
-    ActivityChannel* hrdata;
-    ActivityChannel* hresp;
-    ActivityChannel* hbusreq;
-    ActivityChannel* hgrant;
-    ActivityChannel* data_slave;
-    ActivityChannel* hmaster;
+  /// Monitored-signal indices into the packed SoA capture. Order is the
+  /// store order of the former per-channel code; the names live in
+  /// kChannelNames (power_fsm.cpp).
+  enum Channel : std::size_t {
+    kChHaddr = 0,
+    kChHcontrol,
+    kChHwdata,
+    kChHrdata,
+    kChHresp,
+    kChHbusreq,
+    kChHgrant,
+    kChDataSlave,
+    kChHmaster,
+    kNumChannels,
   };
-  Channels ch_{};
-  void bind_channels();
+  /// Hot-path activity storage: all nine channels observed with one
+  /// packed XOR+popcount pass per cycle (SoA; no pointer chasing).
+  PackedActivity packed_;
+  /// Lazily materialized map view handed out by activity().
+  mutable Activity activity_view_;
 
   BusMode mode_ = BusMode::kIdle;
   bool first_cycle_ = true;

@@ -141,5 +141,60 @@ TEST(Characterize, DeterministicForFixedSeed) {
   EXPECT_EQ(a.fit.coefficients, b.fit.coefficients);
 }
 
+// -- scalar vs bit-parallel engine regression -------------------------------
+// The bit-parallel engine maps trial 64*b+j to lane j of batch b and
+// accounts per-lane energy in the scalar engine's net order, so every
+// per-sample reference energy -- and therefore every fitted coefficient
+// -- must be EXACTLY equal, not merely within tolerance. Sample counts
+// are deliberately not multiples of 64 to exercise partial batches.
+
+TEST(CharacterizeEngines, DecoderBitParallelMatchesScalarExactly) {
+  const auto s = characterize_decoder(8, 330, 42, gate::Technology::default_2003(),
+                                      Engine::kScalar);
+  const auto b = characterize_decoder(8, 330, 42, gate::Technology::default_2003(),
+                                      Engine::kBitParallel);
+  ASSERT_EQ(s.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < s.samples.size(); ++i) {
+    ASSERT_EQ(s.samples[i].energy, b.samples[i].energy) << "sample " << i;
+    ASSERT_EQ(s.samples[i].features, b.samples[i].features) << "sample " << i;
+  }
+  EXPECT_EQ(s.fit.coefficients, b.fit.coefficients);
+  EXPECT_EQ(s.fit.r_squared, b.fit.r_squared);
+  EXPECT_EQ(s.paper_model.total_energy_ref, b.paper_model.total_energy_ref);
+}
+
+TEST(CharacterizeEngines, MuxBitParallelMatchesScalarExactly) {
+  const auto s =
+      characterize_mux(16, 3, 250, 9, gate::Technology::default_2003(),
+                       Engine::kScalar);
+  const auto b =
+      characterize_mux(16, 3, 250, 9, gate::Technology::default_2003(),
+                       Engine::kBitParallel);
+  ASSERT_EQ(s.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < s.samples.size(); ++i) {
+    ASSERT_EQ(s.samples[i].energy, b.samples[i].energy) << "sample " << i;
+    ASSERT_EQ(s.samples[i].features, b.samples[i].features) << "sample " << i;
+  }
+  EXPECT_EQ(s.fit.coefficients, b.fit.coefficients);
+  EXPECT_EQ(s.calibrated.k_in, b.calibrated.k_in);
+  EXPECT_EQ(s.calibrated.k_sel, b.calibrated.k_sel);
+  EXPECT_EQ(s.calibrated.k_out, b.calibrated.k_out);
+  EXPECT_EQ(s.fitted_model.mean_abs_error, b.fitted_model.mean_abs_error);
+}
+
+TEST(CharacterizeEngines, ArbiterBitParallelMatchesScalarExactly) {
+  const auto s = characterize_arbiter(3, 470, 13, gate::Technology::default_2003(),
+                                      Engine::kScalar);
+  const auto b = characterize_arbiter(3, 470, 13, gate::Technology::default_2003(),
+                                      Engine::kBitParallel);
+  ASSERT_EQ(s.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < s.samples.size(); ++i) {
+    ASSERT_EQ(s.samples[i].energy, b.samples[i].energy) << "cycle " << i;
+    ASSERT_EQ(s.samples[i].features, b.samples[i].features) << "cycle " << i;
+  }
+  EXPECT_EQ(s.fit.coefficients, b.fit.coefficients);
+  EXPECT_EQ(s.fsm_model.total_energy_ref, b.fsm_model.total_energy_ref);
+}
+
 }  // namespace
 }  // namespace ahbp::charlib

@@ -1,0 +1,284 @@
+// Bit-identity tests for the 64-lane bit-parallel gate simulator.
+//
+// The load-bearing property: every BitSim lane is indistinguishable from
+// a scalar GateSim fed the same pattern sequence -- per-net values,
+// per-net toggle counts, and accounted energy, all bit-exact (the
+// per-lane energy accumulates in GateSim's net order, so even the
+// floating-point rounding matches). The property tests here check all
+// 64 lanes against 64 independent GateSims on randomized netlists and
+// stimulus, with and without DFFs.
+
+#include "gate/bitsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "gate/gatesim.hpp"
+#include "gate/synth.hpp"
+#include "sim/report.hpp"
+
+namespace ahbp::gate {
+namespace {
+
+using sim::SimError;
+
+// ---------------------------------------------------------------------------
+// 64x64 transpose
+
+TEST(BitTranspose, MatchesNaiveTranspose) {
+  std::mt19937_64 rng(7);
+  std::uint64_t m[64], t[64];
+  for (auto& w : m) w = rng();
+  for (unsigned i = 0; i < 64; ++i) {
+    t[i] = 0;
+    for (unsigned b = 0; b < 64; ++b) t[i] |= (m[b] >> i & 1u) << b;
+  }
+  std::uint64_t fast[64];
+  std::copy(std::begin(m), std::end(m), std::begin(fast));
+  bit_transpose_64x64(fast);
+  for (unsigned i = 0; i < 64; ++i) EXPECT_EQ(fast[i], t[i]) << "row " << i;
+}
+
+TEST(BitTranspose, IsAnInvolution) {
+  std::mt19937_64 rng(8);
+  std::uint64_t m[64], twice[64];
+  for (auto& w : m) w = rng();
+  std::copy(std::begin(m), std::end(m), std::begin(twice));
+  bit_transpose_64x64(twice);
+  bit_transpose_64x64(twice);
+  for (unsigned i = 0; i < 64; ++i) EXPECT_EQ(twice[i], m[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized netlists
+
+/// Random combinational DAG: `n_inputs` primary inputs, `n_gates` gates
+/// of uniformly random type over random existing nets. If `with_dffs`,
+/// a register rank is inserted mid-way and the later gates mix register
+/// outputs back in, giving real sequential state (exercised via tick()).
+Netlist random_netlist(std::mt19937_64& rng, unsigned n_inputs, unsigned n_gates,
+                       bool with_dffs) {
+  Netlist nl;
+  std::vector<NetId> nets;
+  for (unsigned i = 0; i < n_inputs; ++i) {
+    const NetId n = nl.add_net();
+    nl.mark_input(n);
+    nets.push_back(n);
+  }
+  const auto pick = [&] { return nets[rng() % nets.size()]; };
+  for (unsigned g = 0; g < n_gates; ++g) {
+    if (with_dffs && g == n_gates / 2) {
+      for (unsigned d = 0; d < 4; ++d) nets.push_back(nl.add_dff(pick()));
+    }
+    const auto type = static_cast<GateType>(rng() % 8);  // all but kDff
+    const NetId out = type == GateType::kNot || type == GateType::kBuf
+                          ? nl.add_gate(type, pick())
+                          : nl.add_gate(type, pick(), pick());
+    nets.push_back(out);
+    if (rng() % 4 == 0) nl.mark_output(out);
+  }
+  nl.mark_output(nets.back());
+  nl.finalize();
+  return nl;
+}
+
+/// Drives BitSim and 64 GateSims with the same random input patterns for
+/// `steps` rounds and checks values, per-lane toggle counts, per-lane
+/// energy, and the lane-summed aggregates -- all exactly.
+void check_lanes_match(const Netlist& nl, std::mt19937_64& rng, unsigned steps,
+                       bool sequential) {
+  const Technology tech = Technology::default_2003();
+  BitSim bit(nl, tech, BitSim::Accounting::kPerLaneToggles);
+  std::vector<GateSim> scalar;
+  scalar.reserve(BitSim::kLanes);
+  for (unsigned j = 0; j < BitSim::kLanes; ++j) scalar.emplace_back(nl, tech);
+
+  for (unsigned s = 0; s < steps; ++s) {
+    for (NetId in : nl.inputs()) {
+      const std::uint64_t lanes = rng();
+      bit.set_input(in, lanes);
+      for (unsigned j = 0; j < BitSim::kLanes; ++j) {
+        scalar[j].set_input(in, (lanes >> j & 1u) != 0);
+      }
+    }
+    if (sequential) {
+      bit.tick();
+      for (auto& sim : scalar) sim.tick();
+    } else {
+      bit.eval();
+      for (auto& sim : scalar) sim.eval();
+    }
+    for (NetId n = 0; n < nl.net_count(); ++n) {
+      for (unsigned j = 0; j < BitSim::kLanes; ++j) {
+        ASSERT_EQ(bit.value(n, j), scalar[j].value(n))
+            << "step " << s << " net " << n << " lane " << j;
+      }
+    }
+  }
+
+  std::uint64_t toggle_sum = 0;
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    std::uint64_t lane_sum = 0;
+    for (unsigned j = 0; j < BitSim::kLanes; ++j) {
+      ASSERT_EQ(bit.lane_toggles(n, j), scalar[j].toggles(n))
+          << "net " << n << " lane " << j;
+      lane_sum += bit.lane_toggles(n, j);
+    }
+    EXPECT_EQ(bit.toggles(n), lane_sum);
+    toggle_sum += lane_sum;
+  }
+  EXPECT_EQ(bit.total_toggles(), toggle_sum);
+
+  double lane_energy_sum = 0.0;
+  for (unsigned j = 0; j < BitSim::kLanes; ++j) {
+    // Exact: per-lane accounting replays GateSim's accumulation order.
+    ASSERT_EQ(bit.lane_energy(j), scalar[j].energy()) << "lane " << j;
+    lane_energy_sum += bit.lane_energy(j);
+  }
+  // The aggregate accumulates popcount*weight per net instead of lane by
+  // lane, so it matches the lane sum only up to rounding.
+  EXPECT_NEAR(bit.energy(), lane_energy_sum,
+              1e-12 * std::max(1.0, lane_energy_sum));
+}
+
+TEST(BitSimProperty, RandomCombinationalNetlistsAllLanesExact) {
+  std::mt19937_64 rng(0xC0FFEE);
+  for (unsigned round = 0; round < 3; ++round) {
+    const Netlist nl = random_netlist(rng, 6 + round * 3, 40 + round * 30,
+                                      /*with_dffs=*/false);
+    check_lanes_match(nl, rng, 25, /*sequential=*/false);
+  }
+}
+
+TEST(BitSimProperty, RandomSequentialNetlistsAllLanesExact) {
+  std::mt19937_64 rng(0xD1CE);
+  for (unsigned round = 0; round < 3; ++round) {
+    const Netlist nl = random_netlist(rng, 5 + round * 2, 30 + round * 20,
+                                      /*with_dffs=*/true);
+    check_lanes_match(nl, rng, 20, /*sequential=*/true);
+  }
+}
+
+TEST(BitSimProperty, PriorityArbiterFeedbackExact) {
+  // Real DFF feedback (the grant register feeds the priority logic).
+  std::mt19937_64 rng(0xAB1);
+  const ArbiterNetlist arb = build_priority_arbiter(4);
+  check_lanes_match(arb.nl, rng, 30, /*sequential=*/true);
+}
+
+TEST(BitSimProperty, GeneratedMuxExact) {
+  std::mt19937_64 rng(0x3A3);
+  const MuxNetlist mux = build_mux(8, 3);
+  check_lanes_match(mux.nl, rng, 25, /*sequential=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// API contract
+
+struct And2 {
+  Netlist nl;
+  NetId a, b, y;
+  And2() {
+    a = nl.add_net("a");
+    b = nl.add_net("b");
+    nl.mark_input(a);
+    nl.mark_input(b);
+    y = nl.add_gate(GateType::kAnd, a, b);
+    nl.mark_output(y);
+    nl.finalize();
+  }
+};
+
+TEST(BitSim, RequiresFinalizedNetlist) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_input(a);
+  EXPECT_THROW(BitSim{nl}, SimError);
+}
+
+TEST(BitSim, RejectsDrivingNonInputs) {
+  And2 c;
+  BitSim simu(c.nl);
+  EXPECT_THROW(simu.set_input(c.y, 1), SimError);
+  EXPECT_THROW(simu.set_input_lane(c.y, 0, true), SimError);
+  EXPECT_THROW(simu.set_input_lane(c.a, 64, true), SimError);
+}
+
+TEST(BitSim, LaneAccountingRequiresMode) {
+  And2 c;
+  BitSim agg(c.nl);  // kAggregate
+  EXPECT_THROW((void)agg.lane_energy(0), SimError);
+  EXPECT_THROW((void)agg.lane_toggles(c.a, 0), SimError);
+  BitSim per(c.nl, Technology::default_2003(), BitSim::Accounting::kPerLane);
+  EXPECT_NO_THROW((void)per.lane_energy(0));
+  EXPECT_THROW((void)per.lane_toggles(c.a, 0), SimError);
+  EXPECT_THROW((void)per.lane_energy(64), SimError);
+}
+
+TEST(BitSim, WordWideEvaluation) {
+  And2 c;
+  BitSim simu(c.nl);
+  simu.set_input(c.a, 0xFFFF0000FFFF0000ull);
+  simu.set_input(c.b, 0xFF00FF00FF00FF00ull);
+  simu.eval();
+  EXPECT_EQ(simu.value_word(c.y), 0xFF000000FF000000ull);
+}
+
+TEST(BitSim, SetInputLaneTouchesOnlyThatLane) {
+  And2 c;
+  BitSim simu(c.nl);
+  simu.set_input(c.a, ~0ull);
+  simu.set_input(c.b, ~0ull);
+  simu.set_input_lane(c.b, 3, false);
+  simu.eval();
+  EXPECT_EQ(simu.value_word(c.y), ~0ull & ~(1ull << 3));
+}
+
+TEST(BitSim, EvalUnaccountedCommitsValuesWithoutAccounting) {
+  And2 c;
+  BitSim simu(c.nl, Technology::default_2003(), BitSim::Accounting::kPerLane);
+  simu.set_input(c.a, ~0ull);
+  simu.set_input(c.b, ~0ull);
+  simu.eval_unaccounted();
+  EXPECT_EQ(simu.value_word(c.y), ~0ull);  // values committed
+  EXPECT_EQ(simu.total_toggles(), 0u);     // nothing accounted
+  EXPECT_DOUBLE_EQ(simu.energy(), 0.0);
+  EXPECT_DOUBLE_EQ(simu.lane_energy(0), 0.0);
+  // The next accounted eval charges transitions from the committed state.
+  simu.set_input(c.b, 0);
+  simu.eval();
+  EXPECT_GT(simu.energy(), 0.0);
+}
+
+TEST(BitSim, AggregateMatchesPerLaneTotals) {
+  And2 c;
+  BitSim agg(c.nl);
+  BitSim per(c.nl, Technology::default_2003(), BitSim::Accounting::kPerLane);
+  std::mt19937_64 rng(11);
+  for (int s = 0; s < 10; ++s) {
+    const std::uint64_t a = rng(), b = rng();
+    agg.set_input(c.a, a);
+    agg.set_input(c.b, b);
+    per.set_input(c.a, a);
+    per.set_input(c.b, b);
+    agg.eval();
+    per.eval();
+  }
+  EXPECT_EQ(agg.total_toggles(), per.total_toggles());
+  EXPECT_DOUBLE_EQ(agg.energy(), per.energy());
+}
+
+TEST(BitSim, NetCapacitanceMatchesGateSimLoadModel) {
+  And2 c;
+  BitSim bit(c.nl);
+  GateSim scalar(c.nl);
+  for (NetId n = 0; n < c.nl.net_count(); ++n) {
+    EXPECT_DOUBLE_EQ(bit.net_capacitance(n), scalar.net_capacitance(n));
+  }
+}
+
+}  // namespace
+}  // namespace ahbp::gate

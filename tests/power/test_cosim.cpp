@@ -106,6 +106,61 @@ TEST(Cosim, ArbiterModelTracksGateLevelOnLiveTraffic) {
   EXPECT_LT(r, 3.0);
 }
 
+TEST(Cosim, BatchedEngineMatchesPerCycleExactly) {
+  // Two cross-checks watch the same live bus: one evaluates the gate
+  // structures cycle by cycle, the other buffers 64 cycles and replays
+  // them as BitSim lanes. Per-cycle gate energies must be bit-identical.
+  CosimBench b;
+  auto batched = std::make_unique<GateLevelCrossCheck>(
+      &b.top, "cosimb", b.bus, gate::Technology::default_2003(),
+      GateLevelCrossCheck::Engine::kBatched);
+  ASSERT_EQ(batched->engine(), GateLevelCrossCheck::Engine::kBatched);
+  b.run_cycles(500);  // not a multiple of 64: final flush is partial
+
+  const CosimSeries& mux_pc = b.check->mux_series();
+  const CosimSeries& mux_bt = batched->mux_series();  // flushes the tail
+  ASSERT_EQ(mux_bt.gate.size(), mux_pc.gate.size());
+  ASSERT_EQ(mux_bt.model.size(), mux_pc.model.size());
+  for (std::size_t i = 0; i < mux_pc.gate.size(); ++i) {
+    ASSERT_EQ(mux_bt.gate[i], mux_pc.gate[i]) << "mux cycle " << i;
+    ASSERT_EQ(mux_bt.model[i], mux_pc.model[i]) << "mux cycle " << i;
+  }
+  const CosimSeries& arb_pc = b.check->arbiter_series();
+  const CosimSeries& arb_bt = batched->arbiter_series();
+  ASSERT_EQ(arb_bt.gate.size(), arb_pc.gate.size());
+  for (std::size_t i = 0; i < arb_pc.gate.size(); ++i) {
+    ASSERT_EQ(arb_bt.gate[i], arb_pc.gate[i]) << "arbiter cycle " << i;
+    ASSERT_EQ(arb_bt.model[i], arb_pc.model[i]) << "arbiter cycle " << i;
+  }
+}
+
+TEST(Cosim, BatchedEngineSurvivesMidRunFlush) {
+  // Reading the series mid-run forces a partial flush; recording must
+  // continue seamlessly (the carry keeps lane 0's "previous" assignment
+  // correct across the flush boundary).
+  CosimBench b;
+  auto batched = std::make_unique<GateLevelCrossCheck>(
+      &b.top, "cosimb", b.bus, gate::Technology::default_2003(),
+      GateLevelCrossCheck::Engine::kBatched);
+  b.run_cycles(100);
+  const std::size_t at_100 = batched->mux_series().gate.size();  // partial flush
+  EXPECT_EQ(at_100, batched->cycles());
+  b.run_cycles(200);
+
+  const CosimSeries& mux_pc = b.check->mux_series();
+  const CosimSeries& mux_bt = batched->mux_series();
+  ASSERT_EQ(mux_bt.gate.size(), mux_pc.gate.size());
+  for (std::size_t i = 0; i < mux_pc.gate.size(); ++i) {
+    ASSERT_EQ(mux_bt.gate[i], mux_pc.gate[i]) << "mux cycle " << i;
+  }
+  const CosimSeries& arb_pc = b.check->arbiter_series();
+  const CosimSeries& arb_bt = batched->arbiter_series();
+  ASSERT_EQ(arb_bt.gate.size(), arb_pc.gate.size());
+  for (std::size_t i = 0; i < arb_pc.gate.size(); ++i) {
+    ASSERT_EQ(arb_bt.gate[i], arb_pc.gate[i]) << "arbiter cycle " << i;
+  }
+}
+
 TEST(Cosim, QuietBusMeansQuietGateStructures) {
   // No traffic masters: only the default master idles on the bus, so the
   // gate-level structures see (almost) no switching.
