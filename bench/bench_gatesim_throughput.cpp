@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "charlib/charlib.hpp"
+#include "telemetry/exporters.hpp"
 #include "gate/bitsim.hpp"
 #include "gate/gatesim.hpp"
 #include "gate/synth.hpp"
@@ -149,7 +150,8 @@ void write_json(const std::filesystem::path& path, bool smoke,
   os << "  \"throughput\": [\n";
   for (std::size_t i = 0; i < tp.size(); ++i) {
     const Throughput& t = tp[i];
-    os << "    {\"name\": \"" << t.name << "\", \"gates\": " << t.gates
+    os << "    {\"name\": \"" << telemetry::json_escape(t.name)
+       << "\", \"gates\": " << t.gates
        << ", \"evals\": " << t.evals
        << ",\n     \"scalar_gate_evals_per_s\": " << num(t.scalar_gate_evals_per_s)
        << ",\n     \"bitsim_lane_gate_evals_per_s\": "
@@ -165,7 +167,8 @@ void write_json(const std::filesystem::path& path, bool smoke,
     const FlowTiming& f = flows[i];
     total_scalar += f.scalar_ms;
     total_bitpar += f.bitparallel_ms;
-    os << "    {\"name\": \"" << f.name << "\", \"samples\": " << f.samples
+    os << "    {\"name\": \"" << telemetry::json_escape(f.name)
+       << "\", \"samples\": " << f.samples
        << ", \"scalar_ms\": " << num(f.scalar_ms)
        << ", \"bitparallel_ms\": " << num(f.bitparallel_ms)
        << ", \"speedup\": " << num(f.speedup()) << "}"

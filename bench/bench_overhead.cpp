@@ -11,6 +11,9 @@
 // registry at all (min-of-N, interleaved A/B). Exit 1 on violation.
 // `bench_overhead --txn-guard` does the same for the transaction tracer:
 // compiled in but runtime-disabled must cost < 3% versus no tracer.
+// `bench_overhead --events-guard` does it for the campaign event log: a
+// campaign narrating into a *disabled* EventLog (plus an attached
+// ProgressTracker) must cost < 2% versus running with no log at all.
 
 #include <benchmark/benchmark.h>
 
@@ -19,8 +22,14 @@
 #include <cstring>
 #include <limits>
 
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/progress.hpp"
 #include "common.hpp"
 #include "power/styles.hpp"
+#include "telemetry/events.hpp"
 
 namespace {
 
@@ -203,6 +212,68 @@ int run_txn_guard() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --events-guard: assert the disabled-event-log overhead bound.
+
+double events_wall_seconds_once(bool with_events) {
+  // Many tiny runs so the per-run narration path (run_start/run_finish
+  // emission, tracker bookkeeping) dominates over simulation work --
+  // the worst case for the disabled sink's early-out branch.
+  telemetry::EventLog::Config cfg;
+  cfg.enabled = false;
+  telemetry::EventLog log(cfg);
+  campaign::ProgressTracker tracker;
+  tracker.attach(log);
+  std::vector<campaign::RunSpec> specs;
+  specs.reserve(48);
+  for (int i = 0; i < 48; ++i) {
+    specs.push_back({"guard_" + std::to_string(i), [] {
+                       bench::PaperSystem sys;
+                       sys.run(sim::SimTime::us(5));
+                       campaign::PowerReport r;
+                       r.total_energy = sys.est->total_energy();
+                       r.cycles = 500;
+                       return r;
+                     }});
+  }
+  campaign::Campaign::Config ccfg;
+  ccfg.threads = 1;
+  const campaign::Campaign pool(ccfg);
+  campaign::Campaign::RunOptions opts;
+  if (with_events) {
+    opts.events = &log;
+    opts.progress = &tracker;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto outcomes = pool.run(specs, opts);
+  benchmark::DoNotOptimize(outcomes.size());
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+int run_events_guard() {
+  constexpr int kReps = 9;
+  constexpr double kMaxDelta = 0.02;  // contract: < 2%
+  double base = std::numeric_limits<double>::infinity();
+  double off = std::numeric_limits<double>::infinity();
+  events_wall_seconds_once(false);  // warm up code and allocator once
+  for (int i = 0; i < kReps; ++i) {
+    base = std::min(base, events_wall_seconds_once(false));
+    off = std::min(off, events_wall_seconds_once(true));
+  }
+  const double delta = (off - base) / base;
+  std::printf("events-off guard: baseline %.3f ms, disabled-log %.3f ms, "
+              "delta %+.2f%% (bound < %.0f%%)\n",
+              base * 1e3, off * 1e3, delta * 100.0, kMaxDelta * 100.0);
+  if (delta >= kMaxDelta) {
+    std::fputs("FAIL: disabled event log exceeds the overhead bound\n",
+               stderr);
+    return 1;
+  }
+  std::puts("PASS");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -212,6 +283,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--txn-guard") == 0) {
       return run_txn_guard();
+    }
+    if (std::strcmp(argv[i], "--events-guard") == 0) {
+      return run_events_guard();
     }
   }
   benchmark::Initialize(&argc, argv);

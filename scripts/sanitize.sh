@@ -9,7 +9,9 @@
 #       Configure with ThreadSanitizer (-DAHBP_SANITIZE_THREAD=ON) and
 #       run the threaded suites directly: the thread-hosted kernels, the
 #       campaign pool (including process isolation and concurrent
-#       journal appends) and the kernel stress tests. Binaries are
+#       journal appends), the kernel stress tests and the live
+#       observability layer (metrics scrapes racing writers, the event
+#       log, the status server, the progress tracker). Binaries are
 #       invoked directly rather than through ctest so the run covers
 #       whole suites regardless of how gtest_discover_tests named the
 #       individual cases.
@@ -30,10 +32,14 @@ if [ "$MODE" = "tsan" ]; then
   cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" \
       --target test_sim_kernel_threads test_campaign \
                test_campaign_journal test_campaign_isolation \
-               test_sim_kernel_stress
+               test_sim_kernel_stress test_telemetry_metrics_concurrency \
+               test_telemetry_events test_telemetry_status_server \
+               test_campaign_progress
   # halt_on_error: a data-race report fails the suite immediately.
   for suite in test_sim_kernel_threads test_campaign test_campaign_journal \
-               test_campaign_isolation test_sim_kernel_stress; do
+               test_campaign_isolation test_sim_kernel_stress \
+               test_telemetry_metrics_concurrency test_telemetry_events \
+               test_telemetry_status_server test_campaign_progress; do
     TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
         "$BUILD_DIR/tests/$suite"
   done

@@ -15,12 +15,18 @@
 #include <unistd.h>
 
 #include "campaign/journal.hpp"
+#include "campaign/progress.hpp"
+#include "telemetry/events.hpp"
 
 namespace ahbp::campaign {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+using telemetry::field_f64;
+using telemetry::field_str;
+using telemetry::field_u64;
 
 /// Installs the campaign's per-run kernel defaults on the current
 /// thread for the duration of a scope (restored to unlimited on exit).
@@ -61,15 +67,20 @@ RunStatus attempt(const RunSpec& spec, std::size_t i, RunOutcome& out) {
 
 /// Executes spec `i` into its pre-allocated outcome slot. Runs on a
 /// pool thread (or inside a forked worker); everything it touches is
-/// private to the slot.
+/// private to the slot. `events` narrates the in-process retry (null in
+/// forked children -- the parent owns the log).
 void execute(const RunSpec& spec, std::size_t i, RunOutcome& out,
-             bool retry_transient) {
+             bool retry_transient, telemetry::EventLog* events) {
   out.index = i;
   out.name = spec.name;
   const auto t0 = Clock::now();
   out.status = attempt(spec, i, out);
   out.attempts = 1;
   if (out.status == RunStatus::kFailed && retry_transient) {
+    if (events != nullptr) {
+      events->emit("run_retry",
+                   {field_u64("run", i), field_str("name", spec.name)});
+    }
     // One more try: a transient crash (resource blip, rare race in the
     // workload itself) completes now; a deterministic one fails again.
     out.status = attempt(spec, i, out);
@@ -78,6 +89,17 @@ void execute(const RunSpec& spec, std::size_t i, RunOutcome& out,
   out.ok = out.status == RunStatus::kOk;
   out.wall_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One run_finish event per terminal outcome (any status, including
+/// cancelled-without-starting: attempts stays 0 there).
+void emit_run_finish(telemetry::EventLog* events, const RunOutcome& out) {
+  if (events == nullptr) return;
+  events->emit("run_finish",
+               {field_u64("run", out.index), field_str("name", out.name),
+                field_str("status", to_string(out.status)),
+                field_f64("wall_seconds", out.wall_seconds),
+                field_u64("attempts", out.attempts)});
 }
 
 /// Marks a spec that was never started because the campaign was
@@ -114,21 +136,31 @@ const char* signal_name(int sig) {
 /// of throwing across a pool thread.
 class JournalSink {
  public:
-  explicit JournalSink(JournalWriter* writer) : writer_(writer) {}
+  JournalSink(JournalWriter* writer, telemetry::EventLog* events)
+      : writer_(writer), events_(events) {}
 
   void record(const RunOutcome& out) {
     // Cancelled specs never ran; leaving them out of the journal is
-    // what makes --resume re-execute them. The whole body runs under
-    // the lock: pool threads race record() against the catch path's
+    // what makes --resume re-execute them. The append runs under the
+    // lock: pool threads race record() against the catch path's
     // writer_ reset otherwise. Appends were already serialized by the
-    // writer's own mutex, so this costs no extra parallelism.
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (writer_ == nullptr || out.status == RunStatus::kCancelled) return;
-    try {
-      writer_->append(out);
-    } catch (const std::exception& e) {
-      if (error_.empty()) error_ = e.what();
-      writer_ = nullptr;  // no point journaling further
+    // writer's own mutex, so this costs no extra parallelism. The
+    // journal_append event is emitted after the lock is released --
+    // the event log has its own mutex and listeners of its own.
+    bool appended = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (writer_ == nullptr || out.status == RunStatus::kCancelled) return;
+      try {
+        writer_->append(out);
+        appended = true;
+      } catch (const std::exception& e) {
+        if (error_.empty()) error_ = e.what();
+        writer_ = nullptr;  // no point journaling further
+      }
+    }
+    if (appended && events_ != nullptr) {
+      events_->emit("journal_append", {field_u64("run", out.index)});
     }
   }
 
@@ -146,6 +178,7 @@ class JournalSink {
 
  private:
   JournalWriter* writer_;
+  telemetry::EventLog* events_;
   std::mutex mutex_;
   std::string error_;
 };
@@ -185,12 +218,50 @@ bool parse_result_frame(const std::string& buf, RunOutcome& out) {
   return decode_outcome(payload, out);
 }
 
+/// Removes leading heartbeat frames (empty-payload frames, 12 bytes
+/// each) from a child's receive buffer so parse_result_frame only ever
+/// sees the result frame. Returns how many heartbeats were consumed.
+/// A result frame always has a nonzero payload, so len == 0 plus the
+/// empty-string checksum identifies a heartbeat unambiguously.
+std::size_t strip_heartbeats(std::string& buf) {
+  const std::uint64_t empty_checksum = fnv1a64(std::string_view{});
+  std::size_t stripped = 0;
+  while (buf.size() >= 12) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    }
+    if (len != 0) break;
+    std::uint64_t checksum = 0;
+    for (int i = 0; i < 8; ++i) {
+      checksum |=
+          static_cast<std::uint64_t>(static_cast<unsigned char>(buf[4 + i]))
+          << (8 * i);
+    }
+    if (checksum != empty_checksum) break;  // torn garbage, not a beat
+    buf.erase(0, 12);
+    ++stripped;
+  }
+  return stripped;
+}
+
 /// Forks one worker for spec `i`. The child executes the spec with the
 /// campaign's run budget installed, streams its framed outcome through
 /// the pipe and _exits without running atexit handlers (the parent's
 /// buffered state must not be flushed twice).
+///
+/// While the spec runs, a child-side heartbeat thread writes one
+/// empty-payload frame per `heartbeat_interval` onto the pipe -- the
+/// liveness signal behind stalled-worker diagnosis. SIGSTOP (or a
+/// genuine wedge) freezes the whole child including that thread, so
+/// silence really does mean "not making progress". The thread is
+/// joined before the result frame is written: heartbeats and the
+/// result never interleave, and each 12-byte beat is well under
+/// PIPE_BUF so beats are atomic on the wire.
 ChildProc spawn_worker(const RunSpec& spec, std::size_t i,
-                       const sim::RunBudget& budget, bool retry_transient) {
+                       const sim::RunBudget& budget, bool retry_transient,
+                       double heartbeat_interval) {
   int fds[2];
   if (::pipe(fds) != 0) {
     throw std::runtime_error("campaign: pipe() failed");
@@ -204,10 +275,38 @@ ChildProc spawn_worker(const RunSpec& spec, std::size_t i,
   if (pid == 0) {
     ::close(fds[0]);
     RunOutcome out;
+    std::atomic<bool> run_done{false};
+    std::thread beater;
+    if (heartbeat_interval > 0.0) {
+      const int pipe_fd = fds[1];
+      beater = std::thread([&run_done, pipe_fd, heartbeat_interval] {
+        const std::string beat = frame_payload(std::string_view{});
+        const auto interval = std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(heartbeat_interval));
+        auto next_beat = Clock::now() + interval;
+        while (!run_done.load(std::memory_order_acquire)) {
+          // Short sleep slices so join() after the run is prompt.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          if (Clock::now() < next_beat) continue;
+          next_beat = Clock::now() + interval;
+          std::string_view rest = beat;
+          while (!rest.empty()) {
+            const ssize_t n = ::write(pipe_fd, rest.data(), rest.size());
+            if (n < 0) {
+              if (errno == EINTR) continue;
+              return;  // parent went away; nobody is listening
+            }
+            rest.remove_prefix(static_cast<std::size_t>(n));
+          }
+        }
+      });
+    }
     {
       ThreadDefaultsGuard guard(budget, nullptr);
-      execute(spec, i, out, retry_transient);
+      execute(spec, i, out, retry_transient, nullptr);
     }
+    run_done.store(true, std::memory_order_release);
+    if (beater.joinable()) beater.join();
     const std::string frame = frame_payload(encode_outcome(out));
     std::string_view rest = frame;
     while (!rest.empty()) {
@@ -233,7 +332,8 @@ void run_process_pool(const Campaign::Config& cfg, unsigned threads,
                       const std::vector<RunSpec>& specs,
                       std::vector<RunOutcome>& outcomes,
                       const std::vector<char>& restored, JournalSink& journal,
-                      const std::function<bool()>& cancel_requested);
+                      const std::function<bool()>& cancel_requested,
+                      telemetry::EventLog* events, ProgressTracker* progress);
 
 }  // namespace
 
@@ -279,7 +379,23 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs,
     }
   }
 
-  JournalSink journal(opts.journal);
+  telemetry::EventLog* const events = opts.events;
+  if (events != nullptr) {
+    events->emit(
+        "campaign_start",
+        {field_u64("runs", specs.size()), field_u64("threads", threads_),
+         field_str("isolation", cfg_.isolation == Isolation::kProcess
+                                    ? "process"
+                                    : "thread")});
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (restored[i]) {
+        events->emit("run_restored",
+                     {field_u64("run", i), field_str("name", specs[i].name)});
+      }
+    }
+  }
+
+  JournalSink journal(opts.journal, events);
   // A journaling failure never invalidates the outcomes themselves;
   // callers that pass journal_error get them back with the error on
   // the side instead of losing the whole sweep to a throw.
@@ -289,6 +405,34 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs,
       return;
     }
     journal.rethrow();
+  };
+
+  // The closing tally: executed terminal statuses plus the restored
+  // count (restored slots emitted run_restored, never run_finish, so
+  // ok+failed+crashed+timed_out+cancelled+restored == runs).
+  const auto emit_campaign_finish = [&outcomes, events] {
+    if (events == nullptr) return;
+    std::uint64_t ok = 0, failed = 0, crashed = 0, timed_out = 0,
+                  cancelled = 0, restored_n = 0;
+    for (const RunOutcome& o : outcomes) {
+      if (o.resumed) {
+        ++restored_n;
+        continue;
+      }
+      switch (o.status) {
+        case RunStatus::kOk: ++ok; break;
+        case RunStatus::kFailed: ++failed; break;
+        case RunStatus::kCrashed: ++crashed; break;
+        case RunStatus::kTimedOut: ++timed_out; break;
+        case RunStatus::kCancelled: ++cancelled; break;
+      }
+    }
+    events->emit("campaign_finish",
+                 {field_u64("ok", ok), field_u64("failed", failed),
+                  field_u64("crashed", crashed),
+                  field_u64("timed_out", timed_out),
+                  field_u64("cancelled", cancelled),
+                  field_u64("restored", restored_n)});
   };
 
   // Shared cooperative cancel flag: set when the campaign wall deadline
@@ -316,7 +460,8 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs,
 
   if (cfg_.isolation == Isolation::kProcess) {
     run_process_pool(cfg_, threads_, specs, outcomes, restored, journal,
-                     cancel_requested);
+                     cancel_requested, events, opts.progress);
+    emit_campaign_finish();
     finish_journal();
     return outcomes;
   }
@@ -342,11 +487,19 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs,
       if (restored[i]) continue;
       if (cancel_requested()) {
         mark_unstarted(specs[i], i, outcomes[i]);
+        emit_run_finish(events, outcomes[i]);
         continue;
       }
-      execute(specs[i], i, outcomes[i], cfg_.retry_transient);
+      if (events != nullptr) {
+        events->emit("run_start",
+                     {field_u64("run", i), field_str("name", specs[i].name),
+                      field_u64("worker", 0)});
+      }
+      execute(specs[i], i, outcomes[i], cfg_.retry_transient, events);
       journal.record(outcomes[i]);
+      emit_run_finish(events, outcomes[i]);
     }
+    emit_campaign_finish();
     finish_journal();
     return outcomes;
   }
@@ -361,7 +514,7 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs,
     std::vector<std::jthread> pool;
     pool.reserve(n_workers);
     for (unsigned w = 0; w < n_workers; ++w) {
-      pool.emplace_back([&] {
+      pool.emplace_back([&, w] {
         ThreadDefaultsGuard guard(cfg_.run_budget, &cancel);
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -369,14 +522,23 @@ std::vector<RunOutcome> Campaign::run(const std::vector<RunSpec>& specs,
           if (restored[i]) continue;
           if (cancel_requested()) {
             mark_unstarted(specs[i], i, outcomes[i]);
+            emit_run_finish(events, outcomes[i]);
             continue;
           }
-          execute(specs[i], i, outcomes[i], cfg_.retry_transient);
+          if (events != nullptr) {
+            events->emit(
+                "run_start",
+                {field_u64("run", i), field_str("name", specs[i].name),
+                 field_u64("worker", w)});
+          }
+          execute(specs[i], i, outcomes[i], cfg_.retry_transient, events);
           journal.record(outcomes[i]);
+          emit_run_finish(events, outcomes[i]);
         }
       });
     }
   }  // jthread joins here; all slots are written before we return.
+  emit_campaign_finish();
   finish_journal();
   return outcomes;
 }
@@ -391,7 +553,8 @@ void run_process_pool(const Campaign::Config& cfg, unsigned threads,
                       const std::vector<RunSpec>& specs,
                       std::vector<RunOutcome>& outcomes,
                       const std::vector<char>& restored, JournalSink& journal,
-                      const std::function<bool()>& cancel_requested) {
+                      const std::function<bool()>& cancel_requested,
+                      telemetry::EventLog* events, ProgressTracker* progress) {
   const unsigned n_workers =
       static_cast<unsigned>(std::min<std::size_t>(threads, specs.size()));
   std::vector<ChildProc> active;
@@ -468,13 +631,22 @@ void run_process_pool(const Campaign::Config& cfg, unsigned threads,
       const std::size_t i = next++;
       if (restored[i]) continue;
       active.push_back(spawn_worker(specs[i], i, cfg.run_budget,
-                                    cfg.retry_transient));
+                                    cfg.retry_transient,
+                                    cfg.heartbeat_interval_seconds));
+      if (events != nullptr) {
+        events->emit(
+            "run_start",
+            {field_u64("run", i), field_str("name", specs[i].name),
+             field_u64("worker",
+                       static_cast<std::uint64_t>(active.back().pid))});
+      }
     }
     if (cancelled) {
       while (next < specs.size()) {
         const std::size_t i = next++;
         if (restored[i]) continue;
         mark_unstarted(specs[i], i, outcomes[i]);
+        emit_run_finish(events, outcomes[i]);
       }
       for (ChildProc& child : active) {
         if (!child.killed_cancel) {
@@ -496,6 +668,13 @@ void run_process_pool(const Campaign::Config& cfg, unsigned threads,
         if (elapsed > cfg.run_budget.max_wall_seconds) {
           child.killed_timeout = true;
           ::kill(child.pid, SIGKILL);
+          if (events != nullptr) {
+            events->emit(
+                "watchdog_trip",
+                {field_u64("run", child.index),
+                 field_u64("worker", static_cast<std::uint64_t>(child.pid)),
+                 field_f64("wall_seconds", elapsed)});
+          }
         }
       }
     }
@@ -514,6 +693,13 @@ void run_process_pool(const Campaign::Config& cfg, unsigned threads,
       const ssize_t n = ::read(active[k].fd, chunk, sizeof chunk);
       if (n > 0) {
         active[k].buf.append(chunk, static_cast<std::size_t>(n));
+        // Heartbeat frames are liveness, not payload: peel them off so
+        // parse_result_frame sees exactly the result frame. Any bytes
+        // arriving at all also prove the child is alive.
+        strip_heartbeats(active[k].buf);
+        if (progress != nullptr) {
+          progress->heartbeat(static_cast<long>(active[k].pid));
+        }
         continue;
       }
       if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
@@ -522,9 +708,19 @@ void run_process_pool(const Campaign::Config& cfg, unsigned threads,
       active.erase(active.begin() + static_cast<std::ptrdiff_t>(k));
       if (!finalize(child)) {
         ChildProc again = spawn_worker(specs[child.index], child.index,
-                                       cfg.run_budget, cfg.retry_transient);
+                                       cfg.run_budget, cfg.retry_transient,
+                                       cfg.heartbeat_interval_seconds);
         again.spawns = child.spawns + 1;
+        if (events != nullptr) {
+          events->emit(
+              "run_retry",
+              {field_u64("run", child.index),
+               field_str("name", specs[child.index].name),
+               field_u64("worker", static_cast<std::uint64_t>(again.pid))});
+        }
         active.push_back(std::move(again));
+      } else {
+        emit_run_finish(events, outcomes[child.index]);
       }
     }
   }

@@ -27,9 +27,14 @@
 #include "power/power_fsm.hpp"
 #include "sim/kernel.hpp"
 
+namespace ahbp::telemetry {
+class EventLog;  // telemetry/events.hpp
+}
+
 namespace ahbp::campaign {
 
-class JournalWriter;  // journal.hpp
+class JournalWriter;     // journal.hpp
+class ProgressTracker;   // progress.hpp
 
 /// Per-run power/performance summary gathered from one simulation.
 ///
@@ -151,6 +156,11 @@ public:
     /// (kThread) or killed (kProcess) and unclaimed specs are marked
     /// kCancelled. Must outlive run().
     const std::atomic<bool>* cancel = nullptr;
+    /// kProcess only: how often each worker child writes a heartbeat
+    /// frame (an empty-payload journal frame) onto its result pipe so
+    /// the parent can tell a slow run from a hung worker. <= 0 disables
+    /// heartbeats (the pre-heartbeat wire format).
+    double heartbeat_interval_seconds = 0.1;
   };
 
   Campaign() : Campaign(Config{}) {}
@@ -175,6 +185,17 @@ public:
     /// durability is lost. Left empty on success. When null, run()
     /// throws std::runtime_error after all runs complete.
     std::string* journal_error = nullptr;
+    /// When set, the campaign narrates its lifecycle into this log:
+    /// campaign_start/finish, run_start/finish/retry/restored,
+    /// watchdog_trip (parent wall-budget kill) and journal_append.
+    /// Must outlive run(). Workers never emit (children run with no
+    /// log); all emission happens in the parent process.
+    telemetry::EventLog* events = nullptr;
+    /// When set (kProcess isolation), receives a heartbeat() call for
+    /// every liveness signal a worker child sends -- the feed for
+    /// stalled-shard diagnosis. Pair it with `events` via
+    /// ProgressTracker::attach for the full live view.
+    ProgressTracker* progress = nullptr;
   };
 
   /// Runs every spec and returns outcomes ordered by spec index. A spec

@@ -1,0 +1,238 @@
+#include "campaign/progress.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "telemetry/exporters.hpp"
+
+namespace ahbp::campaign {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+double us_between(std::uint64_t earlier, std::uint64_t later) {
+  return later <= earlier
+             ? 0.0
+             : static_cast<double>(later - earlier) * 1e-6;
+}
+
+}  // namespace
+
+ProgressTracker::ProgressTracker(Config cfg)
+    : cfg_(cfg), epoch_(std::chrono::steady_clock::now()) {}
+
+void ProgressTracker::attach(telemetry::EventLog& log) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    log_ = &log;
+  }
+  log.add_listener([this](const telemetry::Event& ev) { on_event(ev); });
+}
+
+std::uint64_t ProgressTracker::now_us() const {
+  if (log_ != nullptr) return log_->now_mono_us();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void ProgressTracker::on_event(const telemetry::Event& ev) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ev.type == "campaign_start") {
+    total_ = ev.u64("runs");
+    started_us_ = ev.t_mono_us;
+    heartbeats_expected_ = ev.str("isolation") == "process";
+    return;
+  }
+  if (ev.type == "run_restored") {
+    ++restored_;
+    return;
+  }
+  if (ev.type == "run_start") {
+    InFlight f;
+    f.worker = static_cast<long>(ev.u64("worker"));
+    f.run = ev.u64("run");
+    f.name = ev.str("name");
+    f.started_us = ev.t_mono_us;
+    f.last_heartbeat_us = ev.t_mono_us;
+    in_flight_.push_back(std::move(f));
+    return;
+  }
+  if (ev.type == "run_retry") {
+    ++retries_;
+    // The retried run stays in flight; treat the respawn as liveness.
+    const std::uint64_t run = ev.u64("run");
+    for (InFlight& f : in_flight_) {
+      if (f.run == run) {
+        f.started_us = ev.t_mono_us;
+        f.last_heartbeat_us = ev.t_mono_us;
+        f.stall_reported = false;
+        if (const telemetry::EventField* w = ev.find("worker")) {
+          f.worker = static_cast<long>(w->u64);
+        }
+      }
+    }
+    return;
+  }
+  if (ev.type == "run_finish") {
+    const std::uint64_t run = ev.u64("run");
+    in_flight_.erase(
+        std::remove_if(in_flight_.begin(), in_flight_.end(),
+                       [run](const InFlight& f) { return f.run == run; }),
+        in_flight_.end());
+    const std::string_view status = ev.str("status");
+    if (status == "ok") ++ok_;
+    else if (status == "failed") ++failed_;
+    else if (status == "crashed") ++crashed_;
+    else if (status == "timed_out") ++timed_out_;
+    else if (status == "cancelled") ++cancelled_;
+    return;
+  }
+  if (ev.type == "campaign_finish") {
+    finished_ = true;
+    return;
+  }
+  // journal_append, watchdog_trip, worker_stalled, sigint_drain: no
+  // tracker state of their own.
+}
+
+void ProgressTracker::heartbeat(long worker_id) {
+  const std::uint64_t now = now_us();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (InFlight& f : in_flight_) {
+    if (f.worker == worker_id) {
+      f.last_heartbeat_us = now;
+      f.stall_reported = false;  // a stalled worker came back
+    }
+  }
+}
+
+void ProgressTracker::set_fingerprint(std::uint64_t fp) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  fingerprint_ = fp;
+}
+
+ProgressTracker::Snapshot ProgressTracker::snapshot() {
+  return snapshot_at(now_us());
+}
+
+ProgressTracker::Snapshot ProgressTracker::snapshot_at(
+    std::uint64_t mono_now_us) {
+  Snapshot s;
+  // Stall emissions are collected under the lock and sent after it is
+  // released: emit() re-enters on_event() on this thread.
+  std::vector<std::pair<long, double>> newly_stalled_runs;
+  std::vector<std::uint64_t> newly_stalled_idx;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    s.total = total_;
+    s.ok = ok_;
+    s.failed = failed_;
+    s.crashed = crashed_;
+    s.timed_out = timed_out_;
+    s.cancelled = cancelled_;
+    s.done = ok_ + failed_ + crashed_ + timed_out_ + cancelled_;
+    s.restored = restored_;
+    s.retries = retries_;
+    s.in_flight = in_flight_.size();
+    s.finished = finished_;
+    s.stall_after_seconds = cfg_.stall_after_seconds;
+    s.elapsed_seconds = us_between(started_us_, mono_now_us);
+    const std::uint64_t executed = ok_ + failed_ + crashed_ + timed_out_;
+    if (s.elapsed_seconds > 0.0 && executed > 0) {
+      s.runs_per_sec = static_cast<double>(executed) / s.elapsed_seconds;
+      const std::uint64_t accounted = s.done + restored_;
+      const std::uint64_t remaining =
+          total_ > accounted ? total_ - accounted : 0;
+      s.eta_seconds = static_cast<double>(remaining) / s.runs_per_sec;
+    }
+    s.workers.reserve(in_flight_.size());
+    for (InFlight& f : in_flight_) {
+      Worker w;
+      w.id = f.worker;
+      w.run = f.run;
+      w.name = f.name;
+      w.age_seconds = us_between(f.started_us, mono_now_us);
+      w.heartbeat_age_seconds = us_between(f.last_heartbeat_us, mono_now_us);
+      w.stalled = heartbeats_expected_ &&
+                  w.heartbeat_age_seconds > cfg_.stall_after_seconds;
+      if (w.stalled) {
+        ++s.stalled_workers;
+        if (!f.stall_reported) {
+          f.stall_reported = true;
+          newly_stalled_runs.emplace_back(f.worker, w.heartbeat_age_seconds);
+          newly_stalled_idx.push_back(f.run);
+        }
+      }
+      s.workers.push_back(std::move(w));
+    }
+  }
+  if (log_ != nullptr) {
+    for (std::size_t i = 0; i < newly_stalled_runs.size(); ++i) {
+      log_->emit("worker_stalled",
+                 {telemetry::field_u64(
+                      "worker",
+                      static_cast<std::uint64_t>(newly_stalled_runs[i].first)),
+                  telemetry::field_u64("run", newly_stalled_idx[i]),
+                  telemetry::field_f64("heartbeat_age_seconds",
+                                       newly_stalled_runs[i].second)});
+    }
+  }
+  return s;
+}
+
+std::string ProgressTracker::status_json() {
+  const Snapshot s = snapshot();
+  std::uint64_t fp = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fp = fingerprint_;
+  }
+  using telemetry::json_escape;
+  using telemetry::json_number;
+  std::string out = "{\n  \"schema\": \"ahbpower.status.v1\",\n";
+  out += "  \"config\": \"" + hex16(fp) + "\",\n";
+  out += "  \"total\": " + std::to_string(s.total) + ",\n";
+  out += "  \"done\": " + std::to_string(s.done) + ",\n";
+  out += "  \"ok\": " + std::to_string(s.ok) + ",\n";
+  out += "  \"failed\": " + std::to_string(s.failed) + ",\n";
+  out += "  \"crashed\": " + std::to_string(s.crashed) + ",\n";
+  out += "  \"timed_out\": " + std::to_string(s.timed_out) + ",\n";
+  out += "  \"cancelled\": " + std::to_string(s.cancelled) + ",\n";
+  out += "  \"restored\": " + std::to_string(s.restored) + ",\n";
+  out += "  \"retries\": " + std::to_string(s.retries) + ",\n";
+  out += "  \"in_flight\": " + std::to_string(s.in_flight) + ",\n";
+  out += std::string("  \"finished\": ") + (s.finished ? "true" : "false") +
+         ",\n";
+  out += "  \"elapsed_seconds\": " + json_number(s.elapsed_seconds) + ",\n";
+  out += "  \"runs_per_sec\": " + json_number(s.runs_per_sec) + ",\n";
+  out += "  \"eta_seconds\": " + json_number(s.eta_seconds) + ",\n";
+  out += "  \"stall_after_seconds\": " + json_number(s.stall_after_seconds) +
+         ",\n";
+  out += "  \"stalled_workers\": " + std::to_string(s.stalled_workers) + ",\n";
+  out += "  \"workers\": [";
+  for (std::size_t i = 0; i < s.workers.size(); ++i) {
+    const Worker& w = s.workers[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"id\": " + std::to_string(w.id) +
+           ", \"run\": " + std::to_string(w.run) + ", \"name\": \"" +
+           json_escape(w.name) + "\", \"age_seconds\": " +
+           json_number(w.age_seconds) + ", \"heartbeat_age_seconds\": " +
+           json_number(w.heartbeat_age_seconds) + ", \"stalled\": " +
+           (w.stalled ? "true" : "false") + "}";
+  }
+  out += s.workers.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace ahbp::campaign

@@ -1,0 +1,157 @@
+#pragma once
+// Structured campaign event log (schema "ahbpower.events.v1").
+//
+// Long sweeps were a black box while they ran: every artifact the
+// telemetry layer emits (metrics, windows, campaign reports) only
+// materializes after the last run finishes. The EventLog is the live
+// counterpart: an append-only sequence of typed lifecycle events
+// (campaign start/finish, run start/finish/retry, watchdog trips,
+// journal appends, SIGINT drains, worker stalls), each stamped with a
+// strictly increasing sequence number, a monotonic timestamp (for
+// ordering and age arithmetic) and a wall-clock timestamp (for humans
+// and cross-host correlation).
+//
+// Consumers:
+//  - campaign::ProgressTracker subscribes via add_listener() and folds
+//    the stream into throughput / ETA / liveness state;
+//  - the status server tails the in-memory ring via render_since()
+//    (GET /events?after=N);
+//  - an optional JSONL file sink persists every event as one line,
+//    written with write(2) + fsync(2) under the log mutex (the journal's
+//    durability discipline), so a post-mortem can replay the campaign's
+//    timeline -- and the final counts must replay to the same
+//    done/failed/crashed totals as campaign.json.
+//
+// Concurrency: emit() is thread-safe (pool workers, the process-pool
+// reaper and the CLI all emit concurrently). Listeners are invoked on
+// the emitting thread *after* the log mutex is released, so a listener
+// may call back into the log (e.g. the tracker emitting
+// "worker_stalled") without deadlocking; listeners must do their own
+// locking. A disabled log (Config::enabled = false) costs one branch
+// per emit -- the MetricsRegistry bypass discipline, held to < 2% by
+// bench_overhead --events-guard.
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ahbp::telemetry {
+
+/// The on-disk schema identifier; also the "schema" field of the JSONL
+/// header line.
+inline constexpr std::string_view kEventsSchema = "ahbpower.events.v1";
+
+/// One typed key/value attribute of an event. Values keep their native
+/// type so consumers (ProgressTracker) never re-parse rendered JSON.
+struct EventField {
+  enum class Kind : std::uint8_t { kString, kU64, kF64 };
+  std::string key;
+  Kind kind = Kind::kU64;
+  std::string str;
+  std::uint64_t u64 = 0;
+  double f64 = 0.0;
+};
+
+[[nodiscard]] EventField field_str(std::string key, std::string_view value);
+[[nodiscard]] EventField field_u64(std::string key, std::uint64_t value);
+[[nodiscard]] EventField field_f64(std::string key, double value);
+
+/// One log entry. `seq` starts at 1 and increases by exactly 1 per
+/// emitted event; `t_mono_us` is microseconds since the log's
+/// construction (steady clock); `t_wall_us` is microseconds since the
+/// Unix epoch (system clock).
+struct Event {
+  std::uint64_t seq = 0;
+  std::uint64_t t_mono_us = 0;
+  std::uint64_t t_wall_us = 0;
+  std::string type;
+  std::vector<EventField> fields;
+
+  [[nodiscard]] const EventField* find(std::string_view key) const;
+  /// Typed field access with a fallback when the key is absent or of a
+  /// different kind.
+  [[nodiscard]] std::uint64_t u64(std::string_view key,
+                                  std::uint64_t fallback = 0) const;
+  [[nodiscard]] double f64(std::string_view key, double fallback = 0.0) const;
+  [[nodiscard]] std::string_view str(std::string_view key,
+                                     std::string_view fallback = {}) const;
+  /// Renders the event as one JSON object (no trailing newline): the
+  /// envelope keys (seq, t_mono_us, t_wall_us, type) followed by the
+  /// fields in emission order. Deterministic for a given event.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Append-only, thread-safe event log with an optional durable JSONL
+/// file sink. See the header comment for the full contract.
+class EventLog {
+public:
+  struct Config {
+    /// Master switch: a disabled log ignores emit() after one branch.
+    bool enabled = true;
+    /// JSONL sink path (empty = in-memory only). The file is truncated
+    /// on open -- an event log describes exactly one campaign -- and
+    /// starts with a header line naming the schema and the campaign
+    /// config fingerprint.
+    std::filesystem::path file;
+    /// Campaign configuration fingerprint recorded in the header line
+    /// (see campaign::JournalWriter); 0 when not applicable.
+    std::uint64_t config_fingerprint = 0;
+  };
+
+  EventLog() : EventLog(Config{}) {}
+  explicit EventLog(Config cfg);
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  [[nodiscard]] bool enabled() const { return cfg_.enabled; }
+  [[nodiscard]] const std::filesystem::path& path() const { return cfg_.file; }
+
+  /// Appends one event: stamps seq/timestamps, stores it, writes the
+  /// JSONL line to the sink (when configured), then invokes listeners
+  /// outside the lock. No-op when the log is disabled.
+  void emit(std::string type, std::vector<EventField> fields = {});
+
+  /// Subscribes to every future event. Listeners run on the emitting
+  /// thread after the log mutex is released; registration is expected
+  /// at setup time, before concurrent emission starts.
+  using Listener = std::function<void(const Event&)>;
+  void add_listener(Listener fn);
+
+  /// Number of events emitted so far (== the last assigned seq).
+  [[nodiscard]] std::uint64_t size() const;
+
+  /// Copies of every event with seq > after_seq, in seq order.
+  [[nodiscard]] std::vector<Event> events_since(std::uint64_t after_seq) const;
+
+  /// The same tail rendered as JSONL ("" when nothing is newer) -- the
+  /// GET /events?after=N response body.
+  [[nodiscard]] std::string render_since(std::uint64_t after_seq) const;
+
+  /// Microseconds since this log's construction on the same steady
+  /// clock that stamps t_mono_us -- the time base for heartbeat ages.
+  [[nodiscard]] std::uint64_t now_mono_us() const;
+
+  /// First deferred sink failure (disk full, EIO), or empty. A sink
+  /// failure never throws across emit(): the in-memory log and the
+  /// listeners keep working, only durability is lost.
+  [[nodiscard]] std::string error() const;
+
+private:
+  void write_line(const std::string& line);  // callers hold mutex_
+
+  Config cfg_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::vector<Listener> listeners_;
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace ahbp::telemetry

@@ -187,6 +187,9 @@ void write_metrics_json(std::ostream& os, const MetricsRegistry& registry) {
   os << "  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : registry.histograms()) {
+    // One locked snapshot per histogram: counts/count/sum/min/max stay
+    // mutually consistent even while observe() runs concurrently.
+    const Histogram::Snapshot snap = h.snapshot();
     os << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": {";
     os << "\"bounds\": [";
     for (std::size_t i = 0; i < h.bounds().size(); ++i) {
@@ -194,17 +197,59 @@ void write_metrics_json(std::ostream& os, const MetricsRegistry& registry) {
       os << json_number(h.bounds()[i]);
     }
     os << "], \"counts\": [";
-    for (std::size_t i = 0; i < h.counts().size(); ++i) {
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
       if (i != 0) os << ", ";
-      os << h.counts()[i];
+      os << snap.counts[i];
     }
-    os << "], \"count\": " << h.count() << ", \"sum\": " << json_number(h.sum())
-       << ", \"min\": " << json_number(h.min())
-       << ", \"max\": " << json_number(h.max()) << "}";
+    os << "], \"count\": " << snap.count
+       << ", \"sum\": " << json_number(snap.sum)
+       << ", \"min\": " << json_number(snap.min)
+       << ", \"max\": " << json_number(snap.max) << "}";
     first = false;
   }
   os << (first ? "}\n" : "\n  }\n");
   os << "}\n";
+}
+
+namespace {
+
+/// "campaign.runs_ok" -> "campaign_runs_ok". The naming contract
+/// ([a-z0-9_] dot-separated segments) makes the result a legal
+/// Prometheus metric name.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus_text(std::ostream& os, const MetricsRegistry& registry) {
+  for (const auto& [name, c] : registry.counters()) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << json_number(g.value())
+       << '\n';
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const std::string n = prometheus_name(name);
+    const Histogram::Snapshot snap = h.snapshot();
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      cumulative += snap.counts[i];
+      os << n << "_bucket{le=\"" << json_number(h.bounds()[i]) << "\"} "
+         << cumulative << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << snap.count << '\n';
+    os << n << "_sum " << json_number(snap.sum) << '\n';
+    os << n << "_count " << snap.count << '\n';
+  }
 }
 
 void write_window_csv_file(const std::filesystem::path& path,

@@ -110,6 +110,14 @@ void write_chrome_trace(std::ostream& os, const TraceEventLog& log,
 /// "ahbpower.metrics.v1"), metrics in name order.
 void write_metrics_json(std::ostream& os, const MetricsRegistry& registry);
 
+/// Writes the registry in the Prometheus text exposition format
+/// (version 0.0.4): one "# TYPE" line per metric, names with '.'
+/// mapped to '_' (the naming contract guarantees the result is a legal
+/// Prometheus identifier), histograms as cumulative _bucket/_sum/_count
+/// series. Deterministic; safe to call while other threads update the
+/// metrics (this is the GET /metrics render path).
+void write_prometheus_text(std::ostream& os, const MetricsRegistry& registry);
+
 /// @name Crash-safe file variants
 /// Identical output to the stream writers above, but committed through
 /// AtomicFile (atomic_file.hpp): a crash mid-export can never leave a

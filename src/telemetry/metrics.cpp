@@ -19,6 +19,16 @@ Histogram::Histogram(const bool* enabled, std::vector<double> bounds)
   counts_.assign(bounds_.size() + 1, 0);
 }
 
+Histogram::Histogram(const Histogram& o)
+    : enabled_(o.enabled_), bounds_(o.bounds_) {
+  const std::lock_guard<std::mutex> lock(o.mutex_);
+  counts_ = o.counts_;
+  count_ = o.count_;
+  sum_ = o.sum_;
+  min_ = o.min_;
+  max_ = o.max_;
+}
+
 void Histogram::observe(double v) {
   if (!*enabled_) return;
   // Rejection policy: NaN/inf and negative observations are dropped --
@@ -26,6 +36,7 @@ void Histogram::observe(double v) {
   // poisoned sum()/min() would silently corrupt the exported snapshot.
   if (!std::isfinite(v) || v < 0.0) return;
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::lock_guard<std::mutex> lock(mutex_);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   if (count_ == 0) {
     min_ = max_ = v;
@@ -35,6 +46,42 @@ void Histogram::observe(double v) {
   }
   ++count_;
   sum_ += v;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.counts = counts_;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = count_ == 0 ? 0.0 : min_;
+  s.max = count_ == 0 ? 0.0 : max_;
+  return s;
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : min_;
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : max_;
 }
 
 bool MetricsRegistry::valid_name(const std::string& name) {

@@ -10,9 +10,19 @@
 // the instrumentation out. Metric names follow the contract documented
 // in docs/OBSERVABILITY.md: lowercase dot-separated segments of
 // [a-z0-9_], e.g. "ahb.power.cycles".
+//
+// Concurrency: updates and reads may race -- the status server renders
+// /metrics while pool workers increment on the hot path. Counter and
+// Gauge are relaxed atomics (no torn 64-bit reads); Histogram guards
+// its correlated state (counts/count/sum/min/max) with a per-histogram
+// mutex, and snapshot() returns one consistent view. *Registration*
+// (counter()/gauge()/histogram() and set_enabled()) is still setup-time
+// only: it mutates the maps and must not race updates or rendering.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,34 +32,56 @@ namespace ahbp::telemetry {
 class Counter {
 public:
   void add(std::uint64_t n = 1) {
-    if (*enabled_) value_ += n;
+    if (*enabled_) value_.fetch_add(n, std::memory_order_relaxed);
   }
   void increment() { add(1); }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Registration-time only: std::map materializes the handle via this
+  /// copy (MetricsRegistry::counter); handles never copy after setup.
+  Counter(const Counter& o)
+      : enabled_(o.enabled_),
+        value_(o.value_.load(std::memory_order_relaxed)) {}
+  Counter& operator=(const Counter&) = delete;
 
 private:
   friend class MetricsRegistry;
   explicit Counter(const bool* enabled) : enabled_(enabled) {}
   const bool* enabled_;
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-value metric (energies, ratios, temperatures).
 class Gauge {
 public:
   void set(double v) {
-    if (*enabled_) value_ = v;
+    if (*enabled_) value_.store(v, std::memory_order_relaxed);
   }
   void add(double d) {
-    if (*enabled_) value_ += d;
+    if (!*enabled_) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
   }
-  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Registration-time only (see Counter).
+  Gauge(const Gauge& o)
+      : enabled_(o.enabled_),
+        value_(o.value_.load(std::memory_order_relaxed)) {}
+  Gauge& operator=(const Gauge&) = delete;
 
 private:
   friend class MetricsRegistry;
   explicit Gauge(const bool* enabled) : enabled_(enabled) {}
   const bool* enabled_;
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Distribution metric over fixed bucket upper bounds.
@@ -64,23 +96,41 @@ public:
   /// contract covers non-negative measurements only.
   void observe(double v);
 
+  /// One internally consistent view of the mutable state, taken under
+  /// the histogram lock -- what renderers racing observe() must use.
+  struct Snapshot {
+    std::vector<std::uint64_t> counts;  ///< bounds().size() + 1 slots
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;  ///< 0 when count == 0
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
-  /// Size bounds().size() + 1 (last slot = overflow).
-  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double sum() const { return sum_; }
+  /// Size bounds().size() + 1 (last slot = overflow). Returned by value:
+  /// a consistent copy taken under the lock.
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
   /// Smallest / largest observation (0 when count() == 0).
-  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
-  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
-  [[nodiscard]] double mean() const {
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
-  }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const { return snapshot().mean(); }
+
+  /// Registration-time only (see Counter).
+  Histogram(const Histogram& o);
+  Histogram& operator=(const Histogram&) = delete;
 
 private:
   friend class MetricsRegistry;
   Histogram(const bool* enabled, std::vector<double> bounds);
   const bool* enabled_;
   std::vector<double> bounds_;
+  mutable std::mutex mutex_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;

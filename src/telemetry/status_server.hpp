@@ -1,0 +1,87 @@
+#pragma once
+// Embedded HTTP/1.1 status endpoint (CLI --status-port).
+//
+// A minimal, dependency-free server on one dedicated thread, bound to
+// 127.0.0.1 only (observability is a local concern; anything wider
+// belongs behind a real reverse proxy). Port 0 requests an ephemeral
+// port; the caller reads the bound port back via port() and prints it.
+//
+// Routes (all GET, Connection: close, Content-Length framed):
+//   /status            application/json  -- campaign snapshot
+//                      ("ahbpower.status.v1", see campaign/progress.hpp)
+//   /metrics           text/plain        -- Prometheus exposition
+//                      (write_prometheus_text over a MetricsRegistry)
+//   /events?after=N    application/x-ndjson -- event-log tail with
+//                      seq > N (EventLog::render_since)
+// Anything else is 404; a malformed or non-GET request is 400.
+//
+// The server owns no campaign state: the three content callbacks are
+// injected, so the telemetry layer never depends on the campaign layer
+// (the CLI wires campaign::ProgressTracker::status_json and friends in).
+// Callbacks run on the server thread and must be thread-safe against
+// the threads mutating the underlying state; a throwing callback
+// renders as a 500 instead of killing the thread.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace ahbp::telemetry {
+
+/// One HTTP response, as seen by the in-tree client below.
+struct HttpResponse {
+  int status = 0;  ///< HTTP status code; 0 = transport failure
+  std::string body;
+  std::string content_type;
+  [[nodiscard]] bool ok() const { return status == 200; }
+};
+
+/// Blocking GET against 127.0.0.1:`port`. The in-tree client used by
+/// the tests and the ctest smoke probe (no curl dependency); transport
+/// failures return status 0 instead of throwing.
+[[nodiscard]] HttpResponse http_get(std::uint16_t port, const std::string& path,
+                                    double timeout_seconds = 5.0);
+
+class StatusServer {
+public:
+  struct Config {
+    /// TCP port to bind on 127.0.0.1; 0 = ephemeral (read back via
+    /// port()).
+    std::uint16_t port = 0;
+    /// GET /status body (application/json).
+    std::function<std::string()> status_json;
+    /// GET /metrics body (text/plain Prometheus exposition).
+    std::function<std::string()> metrics_text;
+    /// GET /events body: every event line with seq > the argument.
+    std::function<std::string(std::uint64_t)> events_jsonl;
+  };
+
+  /// Binds and starts serving immediately. Throws std::runtime_error
+  /// when the port cannot be bound (already in use, privileged).
+  explicit StatusServer(Config cfg);
+  ~StatusServer();
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// The bound port (the ephemeral assignment when Config::port was 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stops accepting and joins the server thread. Idempotent; also run
+  /// by the destructor.
+  void stop();
+
+private:
+  void serve();
+  void handle(int fd);
+
+  Config cfg_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fd_[2] = {-1, -1};  ///< self-pipe: stop() interrupts poll()
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace ahbp::telemetry

@@ -120,6 +120,23 @@ TEST(ChromeTrace, NoSeriesOmitsCounters) {
   EXPECT_NE(os.str().find("\"WRITE\""), std::string::npos);
 }
 
+TEST(ChromeTrace, HostileNamesStayValidJson) {
+  // Regression: free-form labels (spec/instruction names) flow into the
+  // trace verbatim; a name like m"0\ must come out escaped, never as a
+  // raw quote that truncates the JSON string.
+  TraceEventLog log;
+  log.add_complete("m\"0\\", "cat\nbreak", 0, 1);
+  ExportMeta meta = golden_meta();
+  meta.process_name = "proc\"quote";
+  std::ostringstream os;
+  write_chrome_trace(os, log, nullptr, meta);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"m\\\"0\\\\\""), std::string::npos);
+  EXPECT_NE(out.find("cat\\nbreak"), std::string::npos);
+  EXPECT_NE(out.find("proc\\\"quote"), std::string::npos);
+  EXPECT_EQ(out.find("m\"0"), std::string::npos);  // raw name must not leak
+}
+
 TEST(MetricsJson, MatchesGolden) {
   MetricsRegistry reg;
   reg.counter("a.count").add(3);

@@ -42,6 +42,21 @@
 //     --resume          skip runs already present in the --journal
 //                       before executing; the final report is
 //                       byte-identical to an uninterrupted sweep
+//     --status-port N   serve live campaign observability over HTTP on
+//                       127.0.0.1:N while --sweep runs: GET /status
+//                       (JSON snapshot), /metrics (Prometheus text),
+//                       /events?after=N (event-log tail). 0 binds an
+//                       ephemeral port; the bound port is printed as
+//                       "status server listening on 127.0.0.1:<port>"
+//     --progress        single-line live progress display on stderr
+//                       during --sweep (refreshed at most 4x/second;
+//                       suppressed when stderr is not a TTY)
+//     --stall-after S   heartbeat age in seconds past which an
+//                       in-flight process-isolation worker is flagged
+//                       stalled (default 5)
+//
+// With --telemetry DIR, --sweep also persists the event stream to
+// DIR/events.jsonl (schema ahbpower.events.v1, one event per line).
 //
 // Exit codes:
 //   0    success
@@ -50,18 +65,23 @@
 //   3    at least one run degraded (failed / timed out / crashed), a
 //        single run exceeded --run-budget, or the write-ahead journal
 //        could not be written (the report is still emitted)
+//   4    --status-port could not be bound (already in use, privileged
+//        port); nothing was run
 //   130  interrupted by SIGINT (first signal drains + journals
 //        in-flight runs and still emits the degraded report)
 //   143  terminated by SIGTERM (same drain semantics)
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -69,11 +89,14 @@
 #include "ahb/ahb.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/journal.hpp"
+#include "campaign/progress.hpp"
 #include "campaign/report.hpp"
 #include "fault/injector.hpp"
 #include "power/power.hpp"
 #include "sim/sim.hpp"
 #include "telemetry/atomic_file.hpp"
+#include "telemetry/events.hpp"
+#include "telemetry/status_server.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -104,6 +127,9 @@ struct Options {
   campaign::Isolation isolation =
       campaign::Isolation::kThread;
   bool resume = false;
+  long status_port = -1;  ///< -1 = off; 0 = ephemeral
+  bool progress = false;
+  double stall_after_s = 5.0;
   std::string journal_dir;
   std::string csv;
   std::string trace_out;
@@ -119,7 +145,8 @@ struct Options {
                "          [--csv FILE] [--trace-out FILE] [--quiet]\n"
                "          [--sweep] [--jobs N] [--faults SEED] [--run-budget S]\n"
                "          [--isolation thread|process] [--journal DIR]"
-               " [--resume]\n",
+               " [--resume]\n"
+               "          [--status-port N] [--progress] [--stall-after S]\n",
                argv0);
   std::exit(2);
 }
@@ -194,6 +221,14 @@ Options parse(int argc, char** argv) {
       o.journal_dir = need_value(i);
     } else if (a == "--resume") {
       o.resume = true;
+    } else if (a == "--status-port") {
+      o.status_port = std::strtol(need_value(i), nullptr, 0);
+      if (o.status_port < 0 || o.status_port > 65535) usage(argv[0]);
+    } else if (a == "--progress") {
+      o.progress = true;
+    } else if (a == "--stall-after") {
+      o.stall_after_s = std::strtod(need_value(i), nullptr);
+      if (o.stall_after_s <= 0.0) usage(argv[0]);
     } else {
       usage(argv[0]);
     }
@@ -207,6 +242,14 @@ Options parse(int argc, char** argv) {
   }
   if (o.resume && o.journal_dir.empty()) {
     std::fputs("--resume requires --journal DIR\n", stderr);
+    std::exit(2);
+  }
+  if (o.status_port >= 0 && !o.sweep) {
+    std::fputs("--status-port requires --sweep\n", stderr);
+    std::exit(2);
+  }
+  if (o.progress && !o.sweep) {
+    std::fputs("--progress requires --sweep\n", stderr);
     std::exit(2);
   }
   if (!o.csv.empty() && o.window_cycles == 0) {
@@ -438,21 +481,151 @@ int run_sweep(const Options& o) {
       return 2;
     }
   }
+  // --- live observability ---------------------------------------------
+  // Event log (persisted to DIR/events.jsonl when --telemetry names a
+  // directory), progress tracker and the optional HTTP status endpoint.
+  // Everything is wired before the first run starts so /status answers
+  // for the whole sweep.
+  telemetry::EventLog::Config ev_cfg;
+  ev_cfg.config_fingerprint = fingerprint;
+  if (!o.telemetry_dir.empty()) {
+    std::filesystem::create_directories(o.telemetry_dir);
+    ev_cfg.file = std::filesystem::path(o.telemetry_dir) / "events.jsonl";
+  }
+  telemetry::EventLog events(ev_cfg);
+  campaign::ProgressTracker tracker(campaign::ProgressTracker::Config{
+      .stall_after_seconds = o.stall_after_s});
+  tracker.set_fingerprint(fingerprint);
+  tracker.attach(events);
+
+  // Campaign-level metrics behind GET /metrics: lifecycle counters fed
+  // by an event listener, plus snapshot gauges refreshed per scrape.
+  // Handles are registered here, before any concurrent emission -- the
+  // registry's registration contract.
+  telemetry::MetricsRegistry metrics;
+  telemetry::Counter& m_events = metrics.counter("campaign.events");
+  telemetry::Counter& m_ok = metrics.counter("campaign.runs_ok");
+  telemetry::Counter& m_failed = metrics.counter("campaign.runs_failed");
+  telemetry::Counter& m_crashed = metrics.counter("campaign.runs_crashed");
+  telemetry::Counter& m_timed_out = metrics.counter("campaign.runs_timed_out");
+  telemetry::Counter& m_cancelled = metrics.counter("campaign.runs_cancelled");
+  telemetry::Counter& m_retries = metrics.counter("campaign.retries");
+  telemetry::Counter& m_journal = metrics.counter("campaign.journal_appends");
+  telemetry::Counter& m_watchdog = metrics.counter("campaign.watchdog_trips");
+  telemetry::Counter& m_stalls = metrics.counter("campaign.worker_stalls");
+  telemetry::Gauge& g_done = metrics.gauge("campaign.done");
+  telemetry::Gauge& g_in_flight = metrics.gauge("campaign.in_flight");
+  telemetry::Gauge& g_rps = metrics.gauge("campaign.runs_per_sec");
+  telemetry::Gauge& g_eta = metrics.gauge("campaign.eta_seconds");
+  events.add_listener([&](const telemetry::Event& ev) {
+    m_events.add(1);
+    if (ev.type == "run_finish") {
+      const std::string_view st = ev.str("status");
+      if (st == "ok") m_ok.add(1);
+      else if (st == "failed") m_failed.add(1);
+      else if (st == "crashed") m_crashed.add(1);
+      else if (st == "timed_out") m_timed_out.add(1);
+      else if (st == "cancelled") m_cancelled.add(1);
+    } else if (ev.type == "run_retry") {
+      m_retries.add(1);
+    } else if (ev.type == "journal_append") {
+      m_journal.add(1);
+    } else if (ev.type == "watchdog_trip") {
+      m_watchdog.add(1);
+    } else if (ev.type == "worker_stalled") {
+      m_stalls.add(1);
+    }
+  });
+
+  std::unique_ptr<telemetry::StatusServer> server;
+  if (o.status_port >= 0) {
+    telemetry::StatusServer::Config scfg;
+    scfg.port = static_cast<std::uint16_t>(o.status_port);
+    scfg.status_json = [&tracker] { return tracker.status_json(); };
+    scfg.metrics_text = [&] {
+      const campaign::ProgressTracker::Snapshot s = tracker.snapshot();
+      g_done.set(static_cast<double>(s.done));
+      g_in_flight.set(static_cast<double>(s.in_flight));
+      g_rps.set(s.runs_per_sec);
+      g_eta.set(s.eta_seconds);
+      std::ostringstream out;
+      telemetry::write_prometheus_text(out, metrics);
+      return out.str();
+    };
+    scfg.events_jsonl = [&events](std::uint64_t after) {
+      return events.render_since(after);
+    };
+    try {
+      server = std::make_unique<telemetry::StatusServer>(std::move(scfg));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 4;
+    }
+    // The exact line the ctest smoke probe parses; flushed explicitly
+    // because stdout is fully buffered when piped.
+    std::printf("status server listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server->port()));
+    std::fflush(stdout);
+  }
+
   campaign::Campaign::RunOptions ropts;
   ropts.journal = journal.get();
   if (o.resume) ropts.resume = &restored.outcomes;
+  ropts.events = &events;
+  ropts.progress = &tracker;
   // Deferred journal-append failures (disk full, EIO) surface here
   // instead of as an exception: the completed runs are still reported.
   std::string journal_error;
   ropts.journal_error = &journal_error;
   std::vector<campaign::RunOutcome> outcomes;
-  try {
-    outcomes = pool.run(specs, ropts);
-  } catch (const std::exception& e) {
-    // Campaign infrastructure failure (fork/pipe exhaustion): nothing
-    // to report, but exit deliberately rather than via std::terminate.
-    std::fprintf(stderr, "sweep failed: %s\n", e.what());
-    return 2;
+  const bool show_progress = o.progress && ::isatty(2) != 0;
+  {
+    // --progress: one stderr status line, redrawn in place at <= 4 Hz.
+    // The jthread's stop+join on scope exit also covers the error
+    // return below.
+    std::jthread progress_line;
+    if (show_progress) {
+      progress_line = std::jthread([&tracker](const std::stop_token& st) {
+        while (!st.stop_requested()) {
+          const campaign::ProgressTracker::Snapshot s = tracker.snapshot();
+          std::string eta = "--";
+          if (s.eta_seconds >= 0.0) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.0fs", s.eta_seconds);
+            eta = buf;
+          }
+          std::fprintf(stderr,
+                       "\r[sweep] %llu/%llu done | %llu in flight | "
+                       "%.2f runs/s | eta %s | %llu stalled   ",
+                       static_cast<unsigned long long>(s.done + s.restored),
+                       static_cast<unsigned long long>(s.total),
+                       static_cast<unsigned long long>(s.in_flight),
+                       s.runs_per_sec, eta.c_str(),
+                       static_cast<unsigned long long>(s.stalled_workers));
+          std::fflush(stderr);
+          // 250 ms refresh, sliced so stop is prompt.
+          for (int i = 0; i < 50 && !st.stop_requested(); ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+        }
+      });
+    }
+    try {
+      outcomes = pool.run(specs, ropts);
+    } catch (const std::exception& e) {
+      // Campaign infrastructure failure (fork/pipe exhaustion): nothing
+      // to report, but exit deliberately rather than via std::terminate.
+      std::fprintf(stderr, "sweep failed: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (show_progress) std::fputc('\n', stderr);
+  if (g_interrupted.load()) {
+    // The drain already happened inside pool.run; record that the
+    // timeline ends on a signal, not a natural campaign_finish.
+    events.emit("sigint_drain",
+                {telemetry::field_u64(
+                    "signal", static_cast<std::uint64_t>(g_signal.load()))});
   }
 
   std::printf("ahbpower sweep: %zu configs, %llu cycles each, %u threads\n",

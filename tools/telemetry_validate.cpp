@@ -30,9 +30,20 @@
 // must pass its checksum and decode structurally; a torn tail (partial
 // frame from a crash mid-append) is tolerated and reported.
 //
+// JSONL event logs (a first line naming "ahbpower.events.v1") are
+// validated line by line: every event must carry the envelope (seq,
+// t_mono_us, t_wall_us, type), seq must increase by exactly 1 from 1,
+// t_mono_us must be non-decreasing, and when a campaign_finish event is
+// present its per-status counts must equal the run_finish events
+// actually observed -- the replay guarantee behind post-mortems.
+//
+// "ahbpower.status.v1" snapshots additionally get their counts
+// cross-checked: done == ok+failed+crashed+timed_out+cancelled,
+// in_flight == workers[].length, stalled_workers == the stalled
+// entries in workers[].
+//
 // Exit 0 when valid, 1 on a contract violation, 2 on bad usage / I/O.
 
-#include <cctype>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -45,192 +56,12 @@
 #include <string>
 #include <vector>
 
+#include "mini_json.hpp"
+
 namespace {
 
-// --- minimal JSON value + parser -------------------------------------------
-
-struct Value {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<Value> array;
-  std::map<std::string, Value> object;
-
-  [[nodiscard]] const Value* find(const std::string& key) const {
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class Parser {
-public:
-  explicit Parser(std::string text) : text_(std::move(text)) {}
-
-  Value parse() {
-    Value v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return v;
-  }
-
-private:
-  [[noreturn]] void fail(const std::string& what) const {
-    std::size_t line = 1;
-    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
-      if (text_[i] == '\n') ++line;
-    }
-    throw std::runtime_error("JSON parse error at line " + std::to_string(line) +
-                             ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    const std::size_t n = std::strlen(lit);
-    if (text_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  Value parse_value() {
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': {
-        Value v;
-        v.kind = Value::Kind::kString;
-        v.string = parse_string();
-        return v;
-      }
-      case 't':
-        if (!consume_literal("true")) fail("bad literal");
-        return make_bool(true);
-      case 'f':
-        if (!consume_literal("false")) fail("bad literal");
-        return make_bool(false);
-      case 'n':
-        if (!consume_literal("null")) fail("bad literal");
-        return Value{};
-      default: return parse_number();
-    }
-  }
-
-  static Value make_bool(bool b) {
-    Value v;
-    v.kind = Value::Kind::kBool;
-    v.boolean = b;
-    return v;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("bad escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            // Contract files are ASCII; keep escapes opaque but consume them.
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            out += '?';
-            pos_ += 4;
-            break;
-          }
-          default: fail("bad escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    fail("unterminated string");
-  }
-
-  Value parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    Value v;
-    v.kind = Value::Kind::kNumber;
-    try {
-      v.number = std::stod(text_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    return v;
-  }
-
-  Value parse_array() {
-    expect('[');
-    Value v;
-    v.kind = Value::Kind::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']'");
-    }
-  }
-
-  Value parse_object() {
-    expect('{');
-    Value v;
-    v.kind = Value::Kind::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      const std::string key = parse_string();
-      expect(':');
-      v.object.emplace(key, parse_value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}'");
-    }
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
+using minijson::Parser;
+using minijson::Value;
 
 // --- schema-subset checker -------------------------------------------------
 
@@ -465,6 +296,161 @@ void check_campaign_degraded(const Value& doc, bool v4,
   }
 }
 
+/// Count conservation inside one live status snapshot.
+void check_status_consistency(const Value& doc,
+                              std::vector<std::string>& errors) {
+  const auto count = [&doc](const char* key) -> double {
+    const Value* v = doc.find(key);
+    return v == nullptr ? 0.0 : v->number;
+  };
+  const double terminal = count("ok") + count("failed") + count("crashed") +
+                          count("timed_out") + count("cancelled");
+  if (doc.find("done") != nullptr && count("done") != terminal) {
+    errors.push_back("status: done (" +
+                     std::to_string(static_cast<long long>(count("done"))) +
+                     ") != ok+failed+crashed+timed_out+cancelled (" +
+                     std::to_string(static_cast<long long>(terminal)) + ")");
+  }
+  const Value* workers = doc.find("workers");
+  if (workers == nullptr) return;  // schema already flagged
+  if (doc.find("in_flight") != nullptr &&
+      static_cast<std::size_t>(count("in_flight")) != workers->array.size()) {
+    errors.push_back("status: in_flight (" +
+                     std::to_string(static_cast<long long>(count("in_flight"))) +
+                     ") != workers[] length (" +
+                     std::to_string(workers->array.size()) + ")");
+  }
+  std::size_t stalled = 0;
+  for (const Value& w : workers->array) {
+    const Value* s = w.find("stalled");
+    if (s != nullptr && s->boolean) ++stalled;
+  }
+  if (doc.find("stalled_workers") != nullptr &&
+      static_cast<std::size_t>(count("stalled_workers")) != stalled) {
+    errors.push_back(
+        "status: stalled_workers (" +
+        std::to_string(static_cast<long long>(count("stalled_workers"))) +
+        ") != stalled entries in workers[] (" + std::to_string(stalled) + ")");
+  }
+}
+
+// --- structured event log (JSONL) validation --------------------------------
+
+constexpr const char kEventsSchemaId[] = "ahbpower.events.v1";
+
+/// True when `text` is a JSONL event log: the first line is a JSON
+/// object whose "schema" field names the events schema. Cheap substring
+/// probe first so arbitrary binaries are not parsed.
+bool looks_like_event_log(const std::string& text) {
+  const std::size_t eol = text.find('\n');
+  const std::string first = text.substr(0, eol);
+  if (first.find(kEventsSchemaId) == std::string::npos) return false;
+  try {
+    const Value header = Parser(first).parse();
+    const Value* schema = header.find("schema");
+    return schema != nullptr && schema->string == kEventsSchemaId;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Validates a JSONL event log: per-line schema checks plus the stream
+/// invariants (seq contiguity, monotonic timestamps) and the replay
+/// guarantee (campaign_finish counts == observed run_finish events).
+int validate_events(const char* path, const Value& catalogue,
+                    const std::string& text) {
+  const Value* line_schema = catalogue.find(kEventsSchemaId);
+  std::vector<std::string> errors;
+
+  std::uint64_t expected_seq = 1;
+  double last_mono = -1.0;
+  std::map<std::string, std::uint64_t> finish_by_status;
+  std::uint64_t restored_seen = 0;
+  const Value* campaign_finish = nullptr;
+  Value campaign_finish_storage;
+
+  std::size_t line_no = 1;  // the header line
+  std::size_t pos = text.find('\n');
+  pos = pos == std::string::npos ? text.size() : pos + 1;
+  std::size_t n_events = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    Value ev;
+    try {
+      ev = Parser(line).parse();
+    } catch (const std::exception& e) {
+      errors.push_back("line " + std::to_string(line_no) + ": " + e.what());
+      break;  // a torn line ends the stream; anything after is noise
+    }
+    ++n_events;
+    if (line_schema != nullptr) {
+      validate(ev, *line_schema, "line " + std::to_string(line_no), errors);
+    }
+    const Value* seq = ev.find("seq");
+    if (seq != nullptr && static_cast<std::uint64_t>(seq->number) !=
+                              expected_seq) {
+      errors.push_back("line " + std::to_string(line_no) + ": seq " +
+                       std::to_string(static_cast<std::uint64_t>(seq->number)) +
+                       " breaks the contiguous sequence (expected " +
+                       std::to_string(expected_seq) + ")");
+    }
+    ++expected_seq;
+    if (const Value* mono = ev.find("t_mono_us")) {
+      if (mono->number < last_mono) {
+        errors.push_back("line " + std::to_string(line_no) +
+                         ": t_mono_us went backwards");
+      }
+      last_mono = mono->number;
+    }
+    const Value* type = ev.find("type");
+    if (type == nullptr) continue;  // schema check already flagged it
+    if (type->string == "run_finish") {
+      if (const Value* status = ev.find("status")) {
+        ++finish_by_status[status->string];
+      }
+    } else if (type->string == "run_restored") {
+      ++restored_seen;
+    } else if (type->string == "campaign_finish") {
+      campaign_finish_storage = ev;
+      campaign_finish = &campaign_finish_storage;
+    }
+  }
+
+  if (campaign_finish != nullptr) {
+    const auto check = [&](const char* key, std::uint64_t observed) {
+      const Value* v = campaign_finish->find(key);
+      if (v != nullptr && static_cast<std::uint64_t>(v->number) != observed) {
+        errors.push_back(std::string("campaign_finish.") + key + " (" +
+                         std::to_string(static_cast<std::uint64_t>(v->number)) +
+                         ") does not replay from the event stream (" +
+                         std::to_string(observed) + " observed)");
+      }
+    };
+    check("ok", finish_by_status["ok"]);
+    check("failed", finish_by_status["failed"]);
+    check("crashed", finish_by_status["crashed"]);
+    check("timed_out", finish_by_status["timed_out"]);
+    check("cancelled", finish_by_status["cancelled"]);
+    check("restored", restored_seen);
+  }
+
+  if (!errors.empty()) {
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "%s: %s\n", path, e.c_str());
+    }
+    return 1;
+  }
+  std::printf("%s: valid (%s, %zu event(s)%s)\n", path, kEventsSchemaId,
+              n_events,
+              campaign_finish != nullptr ? ", replay counts match" : "");
+  return 0;
+}
+
 std::string read_file(const char* path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error(std::string("cannot read ") + path);
@@ -668,6 +654,9 @@ int main(int argc, char** argv) {
     }
 
     const Value catalogue = Parser(read_file(argv[1])).parse();
+    if (looks_like_event_log(artifact)) {
+      return validate_events(argv[2], catalogue, artifact);
+    }
     const Value doc = Parser(artifact).parse();
 
     const Value* id = doc.find("schema");
@@ -699,6 +688,9 @@ int main(int argc, char** argv) {
         id->string == "ahbpower.campaign.v4") {
       check_campaign_degraded(doc, id->string == "ahbpower.campaign.v4",
                               errors);
+    }
+    if (id->string == "ahbpower.status.v1") {
+      check_status_consistency(doc, errors);
     }
     if (!errors.empty()) {
       for (const std::string& e : errors) {
